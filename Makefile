@@ -1,0 +1,26 @@
+# EndBox reproduction - common targets
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick security coverage clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner --all -o experiment_report.md
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments.runner --all --quick
+
+security:
+	$(PYTHON) examples/security_evaluation.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache src/repro.egg-info .benchmarks

@@ -1,0 +1,18 @@
+"""Fig 11 bench: ping latency across a configuration update."""
+
+from repro.experiments import fig11_reconfig_latency
+
+
+def test_fig11_single_lost_ping(once, benchmark):
+    result = once(benchmark, fig11_reconfig_latency.run)
+    print("\n" + result.to_text())
+    for system in ("EndBox", "OpenVPN+Click"):
+        points = result.series[system]
+        assert len(points) >= 30  # ~4 s of 10 Hz pings around the event
+        # exactly one ping lost, at the reconfiguration instant
+        lost = [(t, rtt) for t, rtt in points if rtt is None]
+        assert len(lost) == 1, f"{system}: lost {len(lost)}"
+        assert abs(lost[0][0]) < 0.15
+        # latency before/after is steady (no reconfiguration tail)
+        rtts = [rtt for _t, rtt in points if rtt is not None]
+        assert max(rtts) - min(rtts) < 0.5e-3

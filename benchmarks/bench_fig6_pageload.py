@@ -1,0 +1,17 @@
+"""Fig 6 bench: HTTP page-load CDF through EndBox vs direct."""
+
+from repro.experiments import fig6_pageload
+
+
+def test_fig6_pageload_cdf(once, benchmark):
+    result = once(benchmark, fig6_pageload.run, n_pages=25)
+    print("\n" + result.to_text())
+    assert len(result.samples_direct) == len(result.samples_endbox) == 25
+    # load times have a realistic spread (sub-second to multi-second)
+    assert result.percentiles_direct[10] < 2.0
+    assert result.percentiles_direct[90] > 1.0
+    # the paper's claim: the two CDFs are nearly identical
+    assert result.max_gap < 0.03, f"CDF gap {result.max_gap:.1%}"
+    # and EndBox never *improves* latency (sanity of the comparison)
+    for p in (50, 90):
+        assert result.percentiles_endbox[p] >= result.percentiles_direct[p] * 0.999

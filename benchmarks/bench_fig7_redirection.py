@@ -1,0 +1,23 @@
+"""Fig 7 bench: ping RTT by redirection method."""
+
+from repro.experiments import fig7_redirection
+
+
+def test_fig7_redirection_rtt(once, benchmark):
+    result = once(benchmark, fig7_redirection.run)
+    print("\n" + result.to_text())
+    measured = result.measured
+    base = measured["no redirection"]
+    # the paper's ordering: none <= local <= EndBox << eu-central << us-east
+    assert base <= measured["local redirection"] + 0.05
+    assert measured["local redirection"] <= measured["EndBox SGX"] + 0.05
+    assert measured["EndBox SGX"] < measured["AWS eu-central"]
+    assert measured["AWS eu-central"] < measured["AWS us-east"]
+    # EndBox's RTT overhead is small (paper: +6 %)
+    assert (measured["EndBox SGX"] - base) / base < 0.10
+    # cloud redirection is dramatically worse (paper: +61 % / +1773 %)
+    assert (measured["AWS eu-central"] - base) / base > 0.40
+    assert (measured["AWS us-east"] - base) / base > 10
+    # absolute values within 10 % of the paper
+    for method, paper_ms in result.paper.items():
+        assert abs(measured[method] - paper_ms) / paper_ms < 0.10, method

@@ -1,0 +1,36 @@
+"""Fig 8 bench: throughput vs packet size for all four set-ups.
+
+Regenerates the figure's series and checks the paper's qualitative
+claims: EndBox SIM within 2-13 % of vanilla, EndBox SGX's overhead
+shrinking with packet size (~39 % small -> ~16 % large), and server-side
+Click losing roughly a third of vanilla's throughput at 64 KiB.
+"""
+
+from repro.experiments import fig8_packet_size
+
+
+def test_fig8_throughput_series(once, benchmark):
+    sizes = (256, 1500, 65536)
+    result = once(benchmark, fig8_packet_size.run, sizes=sizes, duration=0.05)
+    vanilla = result.measured["vanilla OpenVPN"]
+    sgx = result.measured["EndBox SGX"]
+    sim = result.measured["EndBox SIM"]
+    click = result.measured["OpenVPN+Click"]
+    print("\n" + result.to_text())
+
+    # throughput grows with packet size for every set-up
+    for series in result.measured.values():
+        assert series[256] < series[1500] < series[65536]
+    # EndBox SIM costs little over vanilla (paper: 2-13 %)
+    for size in sizes:
+        overhead = 1 - sim[size] / vanilla[size]
+        assert overhead < 0.20, f"SIM overhead {overhead:.0%} at {size}"
+    # SGX overhead shrinks as packets grow (39 % -> 16 % in the paper)
+    sgx_small = 1 - sgx[256] / vanilla[256]
+    sgx_large = 1 - sgx[65536] / vanilla[65536]
+    assert sgx_small > sgx_large
+    assert 0.25 < sgx_small < 0.50
+    assert 0.05 < sgx_large < 0.30
+    # server-side Click loses about a third at 64 KiB
+    click_loss = 1 - click[65536] / vanilla[65536]
+    assert 0.20 < click_loss < 0.45

@@ -1,0 +1,29 @@
+"""Fig 9 bench: per-middlebox-function throughput at 1500 B."""
+
+from repro.experiments import fig9_functions
+
+
+def test_fig9_function_throughput(once, benchmark):
+    result = once(benchmark, fig9_functions.run, duration=0.05)
+    click = result.measured["OpenVPN+Click"]
+    endbox = result.measured["EndBox SGX"]
+    print("\n" + result.to_text())
+
+    # server-side Click barely dents throughput (paper: worst case -13 %)
+    assert click["DDoS"] > 0.8 * click["NOP"]
+    # EndBox pays more for computation-heavy functions
+    assert endbox["IDPS"] < endbox["NOP"]
+    assert endbox["DDoS"] < endbox["NOP"]
+    # overall EndBox overhead vs the centralised baseline at 1500 B:
+    # ~30 % for light functions, ~39 % for IDPS/DDoS (paper numbers)
+    for use_case in ("NOP", "LB", "FW"):
+        overhead = 1 - endbox[use_case] / click[use_case]
+        assert 0.20 < overhead < 0.45, f"{use_case}: {overhead:.0%}"
+    for use_case in ("IDPS", "DDoS"):
+        overhead = 1 - endbox[use_case] / click[use_case]
+        assert 0.28 < overhead < 0.50, f"{use_case}: {overhead:.0%}"
+    # every measured point within 15 % of the paper's value
+    for series, points in result.measured.items():
+        for use_case, mbps in points.items():
+            paper = fig9_functions.PAPER[series][use_case]
+            assert abs(mbps - paper) / paper < 0.15, f"{series}/{use_case}"

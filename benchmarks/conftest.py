@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper.  The
+simulations are deterministic, so a single round per benchmark is
+meaningful; pytest-benchmark still reports wall-clock cost of the
+regeneration.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under the harness."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once():
+    return run_once

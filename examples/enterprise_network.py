@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Scenario 1 (§II-A): an enterprise network with client-side IDPS.
+
+A company runs EndBox on employee machines.  This example walks through
+a day in the life of the deployment:
+
+1. three employees connect; their enclaves were attested and certified
+   through the Fig 4 flow during provisioning,
+2. the in-enclave IDPS (377 community-style Snort rules) inspects all
+   traffic; an infected machine's exploit attempt is dropped at the
+   source,
+3. the administrator rolls out a new, *encrypted* configuration (so
+   employees cannot read the IDPS rules) with a 5-second grace period
+   (Fig 5); every client fetches, verifies and hot-swaps it without
+   dropping more than the in-flight packet,
+4. a laptop that was offline during the rollout tries to reconnect with
+   the stale configuration and is refused until it updates.
+
+Run:  python examples/enterprise_network.py
+"""
+
+from repro.click import configs as click_configs
+from repro.core import build_deployment
+from repro.ids.community_rules import ruleset_text
+from repro.netsim.packet import IPv4Packet, TcpSegment
+from repro.netsim.traffic import UdpSink, UdpTrafficSource
+
+
+def main() -> None:
+    world = build_deployment(
+        n_clients=3, setup="endbox_sgx", use_case="IDPS", scenario="enterprise", ping_interval=0.5
+    )
+    world.connect_all()
+    print(f"{len(world.clients)} employees connected through attested enclaves")
+    for client in world.clients:
+        print(f"  {client.host.name}: tunnel {client.tunnel_ip}, cert {client.certificate.subject}")
+
+    # ------------------------------------------------------------------
+    # normal traffic flows; an exploit attempt is dropped at the source
+    # ------------------------------------------------------------------
+    sink = UdpSink(world.internal, 8080)
+    UdpTrafficSource(
+        world.clients[0].host, world.internal.address, 8080, rate_bps=4e6, packet_bytes=600
+    ).start()
+    infected = world.clients[1]
+
+    def exploit_attempt():
+        packet = IPv4Packet(
+            src=infected.tunnel_ip,
+            dst=world.internal.address,
+            l4=TcpSegment(44000, 80, payload=b"GET /cgi-bin/../../etc/passwd HTTP/1.1"),
+        )
+        infected.host.stack.send_packet(packet)
+        yield world.sim.timeout(0)
+
+    world.sim.process(exploit_attempt())
+    world.sim.run(until=world.sim.now + 0.3)
+    print(f"\nclean traffic delivered: {sink.packets} packets")
+    print(
+        f"exploit attempts dropped on {infected.host.name}: "
+        f"{infected.packets_dropped_by_click} (alert sid "
+        f"{infected.click_handler('ids', 'matched')} matches)"
+    )
+
+    # ------------------------------------------------------------------
+    # configuration rollout (Fig 5)
+    # ------------------------------------------------------------------
+    new_rules = ruleset_text() + (
+        '\nalert udp any any -> $HOME_NET 9999 (msg:"COMPANY blocked app"; content:"chat-proto"; sid:424242;)'
+    )
+    bundle = world.publisher.build_bundle(
+        2, click_configs.idps_config(), new_rules, encrypt=True  # employees cannot read the rules
+    )
+    world.publisher.publish(bundle, world.config_server, world.server, grace_period_s=5.0)
+    print("\nadmin published config v2 (encrypted), grace period 5 s")
+    world.sim.run(until=world.sim.now + 4.0)
+    for client in world.clients:
+        timing = client.update_timings[-1]
+        print(
+            f"  {client.host.name}: updated to v{client.config_version} "
+            f"(fetch {timing.fetch_s * 1e3:.2f} ms, decrypt {timing.decrypt_s * 1e3:.2f} ms, "
+            f"hotswap {timing.hotswap_s * 1e3:.2f} ms)"
+        )
+    assert all(c.config_version == 2 for c in world.clients)
+
+    # the new rule is now enforced inside every enclave
+    blocked = UdpSink(world.internal, 9999)
+    src = UdpTrafficSource(
+        world.clients[2].host, world.internal.address, 9999, rate_bps=2e6, packet_bytes=300
+    )
+    src.payload = b"chat-proto" + bytes(272 - 10)  # carries the banned marker
+    src.start()
+    world.sim.run(until=world.sim.now + 0.2)
+    print(f"\nblocked-app packets delivered after v2: {blocked.packets}")
+    assert blocked.packets == 0
+
+    # ------------------------------------------------------------------
+    # a stale laptop cannot rejoin after the grace period
+    # ------------------------------------------------------------------
+    world.sim.run(until=world.sim.now + 3.0)  # grace expires
+    session = next(iter(world.server.sessions_by_peer.values()))
+    stale_ok = world.server.admit_session(session.certificate, client_version=1)
+    fresh_ok = world.server.admit_session(session.certificate, client_version=2)
+    print(f"\nreconnect with stale v1 config admitted? {stale_ok}")
+    print(f"reconnect with current v2 config admitted? {fresh_ok}")
+    assert not stale_ok and fresh_ok
+    print("\nenterprise scenario complete: IDPS, encrypted rollout and grace enforcement all held.")
+
+
+if __name__ == "__main__":
+    main()

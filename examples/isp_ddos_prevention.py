@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Scenario 2 (§II-A): an ISP deploying DDoS prevention on customers.
+
+The provider's data plan runs EndBox on customer machines:
+
+* the data channel uses integrity-only protection (§IV-A's ISP
+  optimisation - customers opted in, so the tunnel does not need to hide
+  traffic from the ISP, it only needs to prove Click processed it),
+* configurations are published *unencrypted* so customers can inspect
+  exactly which rules run on their machines (§III-E),
+* a bot-infected customer machine starts flooding; the in-enclave
+  TrustedSplitter throttles the flood to the contracted rate *at the
+  source* — the ISP's network never sees the excess — while a clean
+  customer's traffic is untouched.
+
+Run:  python examples/isp_ddos_prevention.py
+"""
+
+import json
+
+from repro.core import build_deployment
+from repro.netsim.traffic import UdpSink, UdpTrafficSource
+
+
+def main() -> None:
+    world = build_deployment(
+        n_clients=2,
+        setup="endbox_sgx",
+        use_case="DDoS",
+        scenario="isp",
+        isp_no_encryption=True,
+    )
+    world.connect_all()
+    bot, clean = world.clients
+    print("ISP deployment up:")
+    print(f"  data channel protection: {bot.mode.value} (integrity only)")
+
+    # customers can read the configuration that governs their machine
+    bundle = world.publisher.build_bundle(
+        2, world.clients[0].click_config, encrypt=False  # ISP mode: inspectable
+    )
+    envelope = json.loads(bundle.blob.decode())
+    config_text = json.loads(bytes.fromhex(envelope["payload"]).decode())["click_config"]
+    print("\ncustomer-inspectable configuration (excerpt):")
+    for line in config_text.strip().splitlines()[:4]:
+        print(f"    {line}")
+
+    # ------------------------------------------------------------------
+    # the flood: the bot offers 900 Mbps; the splitter enforces 1 Gbps
+    # shared budget per client - here we tighten it first via an update
+    # ------------------------------------------------------------------
+    from repro.click.configs import ddos_config
+
+    # sample the trusted clock every 100 packets: the paper's 500,000 is
+    # sized for saturated 10 Gbps pipelines; a 50 Mbps contract needs a
+    # proportionally finer sampling interval to refill its bucket
+    tight = world.publisher.build_bundle(
+        3, ddos_config(rate_bps=50e6, sample_every=100), world_rules(), encrypt=False
+    )
+    world.publisher.publish(tight, world.config_server, world.server, grace_period_s=5.0)
+    world.sim.run(until=world.sim.now + 3.0)
+    print(f"\nrate-limit config v3 active on: {[c.config_version for c in world.clients]}")
+
+    victim = UdpSink(world.internal, 7001)
+    clean_sink = UdpSink(world.internal, 7002)
+    flood = UdpTrafficSource(bot.host, world.internal.address, 7001, rate_bps=400e6, packet_bytes=1200)
+    normal = UdpTrafficSource(clean.host, world.internal.address, 7002, rate_bps=20e6, packet_bytes=1200)
+    flood.start()
+    normal.start()
+    world.sim.run(until=world.sim.now + 0.05)
+    victim.reset_window()
+    clean_sink.reset_window()
+    world.sim.run(until=world.sim.now + 0.3)
+    flood.stop()
+    normal.stop()
+
+    flood_seen = victim.window_throughput_bps() / 1e6
+    clean_seen = clean_sink.window_throughput_bps() / 1e6
+    shaped = int(bot.click_handler("shape", "shaped"))
+    print(f"\nbot offered 400 Mbps -> ISP network saw {flood_seen:.0f} Mbps (shaped at the source)")
+    print(f"  packets shaped inside the bot's enclave: {shaped}")
+    print(f"clean customer offered 20 Mbps -> delivered {clean_seen:.0f} Mbps")
+    assert flood_seen < 80, "the flood was not throttled"
+    assert clean_seen > 15, "the clean customer was collateral damage"
+    print("\nISP scenario complete: the flood died on the customer's own CPU.")
+
+
+def world_rules() -> str:
+    from repro.ids.community_rules import ruleset_text
+
+    return ruleset_text()
+
+
+if __name__ == "__main__":
+    main()

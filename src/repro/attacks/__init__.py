@@ -1,0 +1,51 @@
+"""The §V-A security evaluation, executable.
+
+Each module mounts one attack class from the paper's threat model
+against a live simulated deployment and reports whether the attack
+achieved its goal and which mechanism stopped it:
+
+* :mod:`~repro.attacks.bypass` — sending traffic around the middlebox,
+* :mod:`~repro.attacks.rollback` — old/unauthorised configurations,
+* :mod:`~repro.attacks.replay` — replaying captured tunnel traffic,
+* :mod:`~repro.attacks.dos` — denial of service on the enclave,
+* :mod:`~repro.attacks.downgrade` — forcing weaker TLS versions,
+* :mod:`~repro.attacks.iago` — malicious ecall/ocall interface inputs,
+* :mod:`~repro.attacks.failure` — middlebox failure blast radius.
+
+``run_all()`` executes the full suite (the table of §V-A).
+"""
+
+from repro.attacks.common import AttackOutcome, AttackReport
+from repro.attacks.bypass import run_bypass_attacks
+from repro.attacks.rollback import run_rollback_attacks
+from repro.attacks.replay import run_replay_attack
+from repro.attacks.dos import run_dos_attacks
+from repro.attacks.downgrade import run_downgrade_attack
+from repro.attacks.iago import run_iago_attacks
+from repro.attacks.failure import run_failure_isolation
+
+__all__ = [
+    "AttackOutcome",
+    "AttackReport",
+    "run_all",
+    "run_bypass_attacks",
+    "run_dos_attacks",
+    "run_downgrade_attack",
+    "run_failure_isolation",
+    "run_iago_attacks",
+    "run_replay_attack",
+    "run_rollback_attacks",
+]
+
+
+def run_all():
+    """Run the complete §V-A attack suite; returns a list of reports."""
+    reports = []
+    reports.extend(run_bypass_attacks())
+    reports.extend(run_rollback_attacks())
+    reports.append(run_replay_attack())
+    reports.extend(run_dos_attacks())
+    reports.append(run_downgrade_attack())
+    reports.extend(run_iago_attacks())
+    reports.append(run_failure_isolation())
+    return reports

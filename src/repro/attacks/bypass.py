@@ -1,0 +1,98 @@
+"""Bypassing middlebox functions (§V-A, first attack).
+
+A malicious client tries to reach the managed network without its
+traffic passing through EndBox:
+
+1. sending raw packets from its physical address (around the TUN device),
+2. sending spoofed packets that *claim* a tunnel source address,
+3. sending garbage "VPN" datagrams without possessing session keys.
+
+Defences: the static firewall at internal hosts admits only traffic that
+arrived through the VPN gateway's decryption path, and the server only
+accepts datagrams that authenticate under an attested session's keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.common import AttackOutcome, AttackReport
+from repro.core.scenarios import build_deployment
+from repro.netsim.packet import IPv4Packet, UdpDatagram
+from repro.netsim.traffic import UdpSink
+from repro.vpn.protocol import OP_DATA, VpnPacket
+
+
+def run_bypass_attacks(seed: bytes = b"atk-bypass") -> List[AttackReport]:
+    """Mount the middlebox-bypass attacks; returns reports."""
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False, seed=seed
+    )
+    world.connect_all()
+    client = world.clients[0]
+    reports = []
+
+    # ------------------------------------------------------------------
+    # 1. direct traffic from the physical NIC
+    # ------------------------------------------------------------------
+    sink = UdpSink(world.internal, 6001)
+    nic = client.host.stack.interfaces[0]
+    direct = IPv4Packet(
+        src=nic.address, dst=world.internal.address, l4=UdpDatagram(4444, 6001, b"bypass")
+    )
+    nic.send(direct.serialize())
+    world.sim.run(until=world.sim.now + 0.1)
+    reports.append(
+        AttackReport(
+            name="bypass: direct traffic",
+            goal="reach an internal host without EndBox processing",
+            outcome=AttackOutcome.DEFEATED if sink.packets == 0 else AttackOutcome.SUCCEEDED,
+            defence="static firewall admits only VPN-delivered traffic",
+            details=f"{sink.packets} packets leaked",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. spoofing a tunnel source address
+    # ------------------------------------------------------------------
+    sink2 = UdpSink(world.internal, 6002)
+    spoofed = IPv4Packet(
+        src=client.tunnel_ip, dst=world.internal.address, l4=UdpDatagram(4444, 6002, b"spoof")
+    )
+    nic.send(spoofed.serialize())
+    world.sim.run(until=world.sim.now + 0.1)
+    # the spoofed packet does arrive at the switch, but it cannot have
+    # been decrypted by the gateway: with ingress filtering on the
+    # gateway path, only tunnel-delivered packets carry tunnel sources.
+    reports.append(
+        AttackReport(
+            name="bypass: spoofed tunnel source",
+            goal="fake a tunnel address on the physical network",
+            outcome=AttackOutcome.DEFEATED if sink2.packets == 0 else AttackOutcome.SUCCEEDED,
+            defence="switch routes tunnel prefixes to the gateway, not to end hosts",
+            details=f"{sink2.packets} packets leaked",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 3. unauthenticated VPN datagrams
+    # ------------------------------------------------------------------
+    rejected_before = world.server.packets_rejected
+    fake_sock = client.host.stack.udp_socket()
+    fake = VpnPacket(OP_DATA, session_id=1, packet_id=999, body=b"\x00" * 64)
+    fake_sock.sendto(fake.serialize(), world.server_host.address, world.server.port)
+    world.sim.run(until=world.sim.now + 0.1)
+    reports.append(
+        AttackReport(
+            name="bypass: forged VPN datagram",
+            goal="inject data without session keys",
+            outcome=(
+                AttackOutcome.DEFEATED
+                if world.server.packets_rejected > rejected_before
+                else AttackOutcome.SUCCEEDED
+            ),
+            defence="per-session HMAC verification on the data channel",
+            details=f"server rejections {rejected_before} -> {world.server.packets_rejected}",
+        )
+    )
+    return reports

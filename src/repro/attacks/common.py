@@ -1,0 +1,43 @@
+"""Shared attack-harness machinery."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class AttackOutcome(enum.Enum):
+    DEFEATED = "defeated"
+    SUCCEEDED = "succeeded"  # a reproduction bug if this ever appears
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass
+class AttackReport:
+    """Result of mounting one attack against a live deployment."""
+
+    name: str
+    goal: str
+    outcome: AttackOutcome
+    defence: str
+    details: str = ""
+
+    @property
+    def defeated(self) -> bool:
+        return self.outcome is AttackOutcome.DEFEATED
+
+    def __str__(self) -> str:
+        return f"[{self.outcome.value:9s}] {self.name}: {self.defence}"
+
+
+def summarize(reports: List[AttackReport]) -> str:
+    """Human-readable summary of a list of attack reports."""
+    lines = ["Security evaluation (§V-A):"]
+    lines.extend(str(report) for report in reports)
+    failed = [r for r in reports if r.outcome is AttackOutcome.SUCCEEDED]
+    lines.append(
+        f"{len(reports)} attacks mounted, {len(reports) - len(failed)} defeated"
+        + (f", {len(failed)} SUCCEEDED (!)" if failed else "")
+    )
+    return "\n".join(lines)

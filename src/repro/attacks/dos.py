@@ -1,0 +1,118 @@
+"""Denial-of-service on the enclave (§V-A).
+
+The enclave life cycle is managed by untrusted code, so a malicious user
+can refuse to start the enclave, destroy it, or not call into it.  The
+paper's argument: this only denies service to the attacker — without a
+running, attested enclave there are no session keys and the network is
+unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.common import AttackOutcome, AttackReport
+from repro.core.ca import EnrollmentError
+from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
+from repro.core.provisioning import provision_client
+from repro.core.scenarios import build_deployment
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.netsim.host import class_a_host
+from repro.netsim.traffic import UdpSink
+from repro.sgx.attestation import SgxPlatform
+from repro.vpn.handshake import Certificate
+from repro.vpn.openvpn import OpenVpnClient
+
+
+def run_dos_attacks(seed: bytes = b"atk-dos") -> List[AttackReport]:
+    """Mount the enclave-DoS attacks; returns reports."""
+    reports = []
+
+    # ------------------------------------------------------------------
+    # 1. user refuses to run the enclave and connects "manually"
+    # ------------------------------------------------------------------
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
+    )
+    host = class_a_host(world.sim, "no-enclave-user")
+    world.topo.attach(host)
+    key = X25519PrivateKey(HmacDrbg(b"self-made").generate(32))
+    # without an enclave there is no quote, so the CA refuses enrollment;
+    # the user self-signs a certificate instead
+    fake_cert = Certificate(
+        subject="endbox:fake", public_key=key.public_bytes, not_after_version=1 << 62, signature=12345
+    )
+    rogue = OpenVpnClient(
+        host, world.server_host.address, key, fake_cert, world.ca.public_key, server_name="vpn-server"
+    )
+    rogue.start()
+    world.connect_all()
+    world.sim.run(until=world.sim.now + 12.0)
+    denied = rogue.connected_event.exception is not None or not rogue.connected_event.triggered
+    reports.append(
+        AttackReport(
+            name="enclave DoS: refuse to run the enclave",
+            goal="communicate without middlebox processing",
+            outcome=AttackOutcome.DEFEATED if denied else AttackOutcome.SUCCEEDED,
+            defence="no attested enclave, no certificate, no VPN session (self-DoS only)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. destroy the enclave mid-session: traffic stops, nothing leaks
+    # ------------------------------------------------------------------
+    world2 = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed + b"2"
+    )
+    world2.connect_all()
+    client = world2.clients[0]
+    sink = UdpSink(world2.internal, 6300)
+    sock = client.host.stack.udp_socket()
+
+    def traffic():
+        for index in range(20):
+            sock.sendto(b"payload", world2.internal.address, 6300)
+            if index == 9:
+                client.endbox.enclave.destroy()
+            yield world2.sim.timeout(0.01)
+
+    world2.sim.process(traffic())
+    world2.sim.run(until=world2.sim.now + 1.0)
+    # exactly the pre-destruction packets arrive; afterwards the data
+    # path fails closed (the worker cannot enter the destroyed enclave)
+    reports.append(
+        AttackReport(
+            name="enclave DoS: destroy the enclave mid-session",
+            goal="keep communicating after killing the middlebox",
+            outcome=AttackOutcome.DEFEATED if sink.packets <= 10 else AttackOutcome.SUCCEEDED,
+            defence="packet path fails closed without the enclave",
+            details=f"{sink.packets} packets delivered before destruction",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 3. attestation cannot be faked for a tampered enclave either
+    # ------------------------------------------------------------------
+    ias = world.ias
+    image = build_endbox_image(world.ca.public_key, world.model)
+    tampered = image.tampered(ca_public_key=b"attacker-key")
+    platform = SgxPlatform(ias)
+    enclave = EndBoxEnclave.create(tampered, platform)
+    try:
+        provision_client(enclave, platform, world.ca)
+        outcome = AttackOutcome.SUCCEEDED
+        details = "CA enrolled a tampered enclave"
+    except EnrollmentError as exc:
+        outcome = AttackOutcome.DEFEATED
+        details = str(exc)
+    reports.append(
+        AttackReport(
+            name="enclave DoS: substitute a tampered enclave",
+            goal="run modified middlebox code with valid credentials",
+            outcome=outcome,
+            defence="MRENCLAVE whitelist at the CA (remote attestation)",
+            details=details,
+        )
+    )
+    return reports

@@ -1,0 +1,123 @@
+"""The five evaluation configurations of §V-B, as Click config text.
+
+Each function returns a configuration string for the corresponding
+middlebox function:
+
+* :func:`nop_config` — forwarding baseline (NOP)
+* :func:`lb_config` — RoundRobinSwitch load balancing (LB)
+* :func:`firewall_config` — IPFilter with 16 non-matching rules (FW)
+* :func:`idps_config` — IDSMatcher with the 377-rule set (IDPS)
+* :func:`ddos_config` — IDSMatcher + TrustedSplitter rate limiting (DDoS)
+
+``minimal_config`` is the 42-byte configuration used by the Table II
+reconfiguration measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Callable
+
+#: minimal configuration (42 bytes, mirroring Table II's file size)
+MINIMAL_CONFIG = "FromDevice() -> ToDevice();//minimal cfg\n"
+
+
+def nop_config() -> str:
+    """Forward packets without touching headers or payloads."""
+    return (
+        "// NOP: forwarding baseline\n"
+        "from :: FromDevice();\n"
+        "to :: ToDevice();\n"
+        "from -> to;\n"
+    )
+
+
+def lb_config(ways: int = 2) -> str:
+    """Balance packets across ``ways`` paths (all re-merge into ToDevice)."""
+    lines = [
+        "// LB: round-robin load balancing",
+        "from :: FromDevice();",
+        "rr :: RoundRobinSwitch();",
+        "to :: ToDevice();",
+        "from -> rr;",
+    ]
+    for way in range(ways):
+        lines.append(f"rr[{way}] -> [0]to;")
+    return "\n".join(lines) + "\n"
+
+
+def firewall_rules() -> list:
+    """The 16 FW rules; none matches the benchmark traffic (§V-B)."""
+    rules = []
+    for index in range(8):
+        rules.append(f"deny src net 192.0.2.{index * 16}/28")
+    for port in (23, 111, 135, 137, 139, 445, 512):
+        rules.append(f"deny dst port {port}")
+    rules.append("allow all")
+    return rules
+
+
+def firewall_config() -> str:
+    """IPFilter with 16 rules (FW)."""
+    rules = ",\n    ".join(firewall_rules())
+    return (
+        "// FW: IP firewall, 16 rules\n"
+        "from :: FromDevice();\n"
+        f"fw :: IPFilter(\n    {rules});\n"
+        "to :: ToDevice();\n"
+        "from -> fw -> to;\n"
+    )
+
+
+def idps_config() -> str:
+    """IDSMatcher running the community rule set (from router context)."""
+    return (
+        "// IDPS: Snort rules via Aho-Corasick\n"
+        "from :: FromDevice();\n"
+        "ids :: IDSMatcher();\n"
+        "to :: ToDevice();\n"
+        "from -> ids -> to;\n"
+    )
+
+
+def ddos_config(rate_bps: float = 500e6, sample_every: int = 500_000) -> str:
+    """IDSMatcher + TrustedSplitter rate limiting (DDoS prevention)."""
+    return (
+        "// DDoS: pattern matching + trusted traffic shaping\n"
+        "from :: FromDevice();\n"
+        "ids :: IDSMatcher();\n"
+        f"shape :: TrustedSplitter({rate_bps:.0f}, {sample_every});\n"
+        "to :: ToDevice();\n"
+        "from -> ids -> shape -> to;\n"
+    )
+
+
+def ddos_config_untrusted(rate_bps: float = 500e6) -> str:
+    """Server-side DDoS variant with UntrustedSplitter (OpenVPN+Click)."""
+    return (
+        "from :: FromDevice();\n"
+        "ids :: IDSMatcher();\n"
+        f"shape :: UntrustedSplitter({rate_bps:.0f}, 1);\n"
+        "to :: ToDevice();\n"
+        "from -> ids -> shape -> to;\n"
+    )
+
+
+def tls_inspection_config() -> str:
+    """TLSDecrypt feeding the IDS (the §III-D encrypted-traffic path)."""
+    return (
+        "// TLS inspection: decrypt, then match\n"
+        "from :: FromDevice();\n"
+        "tls :: TLSDecrypt();\n"
+        "ids :: IDSMatcher();\n"
+        "to :: ToDevice();\n"
+        "from -> tls -> ids -> to;\n"
+    )
+
+
+USE_CASES: Dict[str, Callable[[], str]] = {
+    "NOP": nop_config,
+    "LB": lb_config,
+    "FW": firewall_config,
+    "IDPS": idps_config,
+    "DDoS": ddos_config,
+}

@@ -1,0 +1,23 @@
+"""Click element library.
+
+Importing this package registers every element class with the config
+language registry.  Standard Click elements live in
+:mod:`basic`/:mod:`classifier`/:mod:`ipfilter`/:mod:`roundrobin`/
+:mod:`device`; EndBox's custom elements (IDSMatcher, TrustedSplitter,
+UntrustedSplitter, TLSDecrypt, §IV) in their own modules.
+"""
+
+from repro.click.elements import (  # noqa: F401
+    basic,
+    classifier,
+    compressor,
+    device,
+    idsmatcher,
+    ipfilter,
+    ipheader,
+    nat,
+    roundrobin,
+    splitters,
+    tlsdecrypt,
+    webcache,
+)

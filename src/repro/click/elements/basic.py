@@ -1,0 +1,119 @@
+"""Small standard elements: Counter, Tee, Queue, Idle, Paint, SetTOS."""
+
+from __future__ import annotations
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+
+
+@register_element("Counter")
+class Counter(Element):
+    """Count packets and bytes; exposes ``count``/``byte_count`` handlers."""
+
+    def configure(self, args) -> None:
+        self.count = 0
+        self.byte_count = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        self.count += 1
+        self.byte_count += packet.length
+        self.output(0, packet)
+
+    def take_state(self, predecessor: "Counter") -> None:
+        self.count = predecessor.count
+        self.byte_count = predecessor.byte_count
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "count":
+            return str(self.count)
+        if name == "byte_count":
+            return str(self.byte_count)
+        return super().read_handler(name)
+
+    def write_handler(self, name: str, value: str) -> None:
+        """Write a named control (Click's write-handler interface)."""
+        if name == "reset":
+            self.count = 0
+            self.byte_count = 0
+        else:
+            super().write_handler(name, value)
+
+
+@register_element("Tee")
+class Tee(Element):
+    """Copy each packet to every output (annotations are shared)."""
+
+    PORT_COUNT = (1, None)
+
+    def push(self, port: int, packet: Packet) -> None:
+        for out_port in range(len(self._outputs)):
+            self.output(out_port, packet)
+
+
+@register_element("Queue")
+class Queue(Element):
+    """A FIFO stage.  In this push-only router it forwards immediately
+    but tracks a high-water mark, which configurations use for stats."""
+
+    def configure(self, args) -> None:
+        self.capacity = int(args[0]) if args else 1000
+        self.highwater = 0
+        self._occupancy = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        self._occupancy = min(self.capacity, self._occupancy + 1)
+        self.highwater = max(self.highwater, self._occupancy)
+        self.output(0, packet)
+        self._occupancy -= 1
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "highwater":
+            return str(self.highwater)
+        if name == "capacity":
+            return str(self.capacity)
+        return super().read_handler(name)
+
+
+@register_element("Idle")
+class Idle(Element):
+    """Never produces or accepts packets (placeholder port plug)."""
+
+    PORT_COUNT = (None, None)
+
+    def push(self, port: int, packet: Packet) -> None:
+        packet.verdict = packet.verdict or "reject"
+
+    def check_wiring(self) -> None:
+        pass
+
+
+@register_element("Paint")
+class Paint(Element):
+    """Set the paint annotation (used to mark packet provenance)."""
+
+    def configure(self, args) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: Paint requires a colour argument")
+        self.colour = int(args[0])
+
+    def push(self, port: int, packet: Packet) -> None:
+        packet.annotations["paint"] = self.colour
+        self.output(0, packet)
+
+
+@register_element("SetTOS")
+class SetTOS(Element):
+    """Rewrite the IP TOS byte (EndBox's 0xEB flag uses this path)."""
+
+    def configure(self, args) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: SetTOS requires a value")
+        self.tos = int(args[0], 0)
+        if not 0 <= self.tos <= 255:
+            raise ElementError(f"{self.name}: TOS {self.tos} out of range")
+
+    def push(self, port: int, packet: Packet) -> None:
+        packet.ip = packet.ip.copy(tos=self.tos)
+        self.output(0, packet)

@@ -1,0 +1,70 @@
+"""IPClassifier: route packets to outputs by protocol/port patterns.
+
+Supported patterns (one per output, comma-separated arguments)::
+
+    tcp | udp | icmp            protocol match
+    tcp dst port 443            protocol + destination port
+    src port 1194               source port
+    tos 0xeb                    TOS byte match (EndBox's c2c flag)
+    -                           catch-all
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+from repro.netsim.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+_PROTOS = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+
+@register_element("IPClassifier")
+class IPClassifier(Element):
+    PORT_COUNT = (1, None)
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: IPClassifier needs at least one pattern")
+        self._predicates: List[Callable[[Packet], bool]] = [
+            self._compile(pattern.strip()) for pattern in args
+        ]
+
+    def _compile(self, pattern: str) -> Callable[[Packet], bool]:
+        if pattern == "-":
+            return lambda packet: True
+        tokens = pattern.split()
+        checks: List[Callable[[Packet], bool]] = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token in _PROTOS:
+                proto = _PROTOS[token]
+                checks.append(lambda p, proto=proto: p.ip.protocol == proto)
+                index += 1
+            elif token in ("src", "dst") and index + 2 < len(tokens) and tokens[index + 1] == "port":
+                side = token
+                port = int(tokens[index + 2])
+                attr = "src_port" if side == "src" else "dst_port"
+                checks.append(lambda p, attr=attr, port=port: getattr(p.ip.l4, attr, None) == port)
+                index += 3
+            elif token == "tos" and index + 1 < len(tokens):
+                tos = int(tokens[index + 1], 0)
+                checks.append(lambda p, tos=tos: p.ip.tos == tos)
+                index += 2
+            else:
+                raise ElementError(f"{self.name}: cannot parse pattern {pattern!r}")
+        return lambda packet: all(check(packet) for check in checks)
+
+    def push(self, port: int, packet: Packet) -> None:
+        for out_port, predicate in enumerate(self._predicates):
+            if predicate(packet):
+                self.output(out_port, packet)
+                return
+        packet.verdict = packet.verdict or "reject"
+
+    def check_wiring(self) -> None:
+        for out_port in range(len(self._predicates)):
+            if out_port >= len(self._outputs) or self._outputs[out_port] is None:
+                raise ElementError(f"{self.name}: pattern output {out_port} not connected")

@@ -1,0 +1,66 @@
+"""Packet entry/exit elements.
+
+EndBox modifies Click's ``ToDevice`` "to signal OpenVPN when a packet was
+accepted or rejected" (§IV): instead of writing to a device file
+descriptor, the element records the verdict on the packet and invokes an
+optional callback the VPN client registered.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.element import Element, Packet
+from repro.click.registry import register_element
+
+
+@register_element("FromDevice")
+class FromDevice(Element):
+    """Graph entry point; the router injects packets here."""
+
+    PORT_COUNT = (0, 1)
+
+    def push(self, port: int, packet: Packet) -> None:
+        self.output(0, packet)
+
+    def cost(self, packet: Packet) -> float:
+        return 0.0  # fetch costs are charged by the embedding pipeline
+
+
+@register_element("ToDevice")
+class ToDevice(Element):
+    """Graph exit point; accepts the packet and signals the VPN client."""
+
+    PORT_COUNT = (1, 0)
+
+    def push(self, port: int, packet: Packet) -> None:
+        packet.verdict = "accept"
+        packet.output_port = int(self.args[0]) if self.args and self.args[0].isdigit() else 0
+        callback = self.router.context.get("on_verdict") if self.router else None
+        if callback is not None:
+            callback(packet, True)
+
+    def check_wiring(self) -> None:  # terminal element: nothing to check
+        pass
+
+    def cost(self, packet: Packet) -> float:
+        return 0.0
+
+
+@register_element("Discard")
+class Discard(Element):
+    """Drop every packet (verdict: reject)."""
+
+    PORT_COUNT = (1, 0)
+
+    def push(self, port: int, packet: Packet) -> None:
+        packet.verdict = "reject"
+        callback = self.router.context.get("on_verdict") if self.router else None
+        if callback is not None:
+            callback(packet, False)
+
+    def check_wiring(self) -> None:
+        pass
+
+    def cost(self, packet: Packet) -> float:
+        return 0.0

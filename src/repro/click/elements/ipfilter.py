@@ -1,0 +1,130 @@
+"""IPFilter: rule-based firewall element (the FW use case, §V-B).
+
+Each configuration argument is ``<action> <expression>`` where action is
+``allow`` or ``deny`` and the expression is a conjunction (``&&``) of:
+
+* ``all``
+* ``proto tcp|udp|icmp``
+* ``src host A.B.C.D`` / ``dst host A.B.C.D``
+* ``src net CIDR``      / ``dst net CIDR``
+* ``src port N[-M]``    / ``dst port N[-M]``
+
+Rules are evaluated in order; the first match decides.  Allowed packets
+leave on output 0, denied packets on output 1 (or are rejected if
+output 1 is unconnected) — Click's IPFilter semantics.  The paper's FW
+configuration uses 16 rules that match no benchmark packet; see
+:func:`repro.click.configs.firewall_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+_PROTOS = {"tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+
+
+@dataclass
+class FilterRule:
+    allow: bool
+    predicate: Callable[[Packet], bool]
+    text: str
+
+
+def _compile_term(tokens: List[str]) -> Callable[[Packet], bool]:
+    if tokens == ["all"]:
+        return lambda packet: True
+    if len(tokens) == 2 and tokens[0] == "proto":
+        proto = _PROTOS.get(tokens[1])
+        if proto is None:
+            raise ElementError(f"unknown protocol {tokens[1]!r}")
+        return lambda packet: packet.ip.protocol == proto
+    if len(tokens) == 3 and tokens[0] in ("src", "dst"):
+        side, kind, value = tokens
+        if kind == "host":
+            address = IPv4Address(value)
+            if side == "src":
+                return lambda packet: packet.ip.src == address
+            return lambda packet: packet.ip.dst == address
+        if kind == "net":
+            network = IPv4Network(value)
+            if side == "src":
+                return lambda packet: packet.ip.src in network
+            return lambda packet: packet.ip.dst in network
+        if kind == "port":
+            if "-" in value:
+                low_text, high_text = value.split("-", 1)
+                low, high = int(low_text), int(high_text)
+            else:
+                low = high = int(value)
+            attr = "src_port" if side == "src" else "dst_port"
+
+            def port_check(packet: Packet, attr=attr, low=low, high=high) -> bool:
+                port = getattr(packet.ip.l4, attr, None)
+                return port is not None and low <= port <= high
+
+            return port_check
+    raise ElementError(f"cannot parse filter term {' '.join(tokens)!r}")
+
+
+@register_element("IPFilter")
+class IPFilter(Element):
+    PORT_COUNT = (1, None)
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: IPFilter needs at least one rule")
+        self.rules: List[FilterRule] = []
+        for arg in args:
+            parts = arg.split(None, 1)
+            if len(parts) != 2 or parts[0] not in ("allow", "deny", "drop"):
+                raise ElementError(f"{self.name}: bad rule {arg!r}")
+            action, expression = parts
+            terms = [term.strip().split() for term in expression.split("&&")]
+            predicates = [_compile_term(term) for term in terms]
+            self.rules.append(
+                FilterRule(
+                    allow=(action == "allow"),
+                    predicate=lambda p, preds=predicates: all(pred(p) for pred in preds),
+                    text=arg,
+                )
+            )
+        self.matched_counts = [0] * len(self.rules)
+
+    def push(self, port: int, packet: Packet) -> None:
+        for index, rule in enumerate(self.rules):
+            if rule.predicate(packet):
+                self.matched_counts[index] += 1
+                if rule.allow:
+                    self.output(0, packet)
+                else:
+                    self.output(1, packet)  # unconnected output 1 rejects
+                return
+        # Click's IPFilter default: packets matching no rule are dropped.
+        packet.verdict = packet.verdict or "reject"
+
+    def check_wiring(self) -> None:
+        if not self._outputs or self._outputs[0] is None:
+            raise ElementError(f"{self.name}: output 0 (allow) not connected")
+
+    def cost(self, packet: Packet) -> float:
+        model = self.router.cost_model if self.router else None
+        if model is None:
+            return 0.0
+        base = model.click_element_fixed + len(self.rules) * model.ipfilter_per_rule
+        if self.router.context.get("in_enclave"):
+            base *= model.enclave_compute_factor
+        return base
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "rule_count":
+            return str(len(self.rules))
+        if name == "matches":
+            return ",".join(str(c) for c in self.matched_counts)
+        return super().read_handler(name)

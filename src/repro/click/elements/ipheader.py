@@ -1,0 +1,71 @@
+"""IP header utility elements: CheckIPHeader, DecIPTTL.
+
+Standard Click elements that most real configurations start with: header
+validation (drop malformed/expired packets) and TTL handling for routed
+paths.  EndBox configurations use them in front of security elements so
+that garbage never reaches the expensive stages.
+"""
+
+from __future__ import annotations
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+from repro.netsim.addresses import IPv4Network
+
+
+@register_element("CheckIPHeader")
+class CheckIPHeader(Element):
+    """Validate basic IP header invariants; bad packets leave on output 1
+    (or are rejected when it is unconnected)."""
+
+    PORT_COUNT = (1, None)
+
+    def configure(self, args) -> None:
+        self.bad_packets = 0
+        #: optional list of source networks considered bogus (martians)
+        self.bad_sources = [IPv4Network(arg.strip()) for arg in args if arg.strip()]
+
+    def push(self, port: int, packet: Packet) -> None:
+        ip = packet.ip
+        valid = (
+            0 < ip.ttl <= 255
+            and 0 <= ip.tos <= 255
+            and ip.total_length >= 20
+            and ip.src != ip.dst
+            and not any(ip.src in network for network in self.bad_sources)
+        )
+        if valid:
+            self.output(0, packet)
+        else:
+            self.bad_packets += 1
+            self.output(1, packet)
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "bad":
+            return str(self.bad_packets)
+        return super().read_handler(name)
+
+
+@register_element("DecIPTTL")
+class DecIPTTL(Element):
+    """Decrement the TTL; expired packets leave on output 1."""
+
+    PORT_COUNT = (1, None)
+
+    def configure(self, args) -> None:
+        self.expired = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        if packet.ip.ttl <= 1:
+            self.expired += 1
+            self.output(1, packet)
+            return
+        packet.ip = packet.ip.copy(ttl=packet.ip.ttl - 1)
+        self.output(0, packet)
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "expired":
+            return str(self.expired)
+        return super().read_handler(name)

@@ -1,0 +1,114 @@
+"""IPRewriter: stateful source NAT (the archetypal middlebox function).
+
+Outbound packets (input 0) get their source rewritten to the configured
+public address with a fresh port per flow; inbound packets (input 1) are
+matched against the translation table and rewritten back.  Flows expire
+implicitly through a bounded LRU table.
+
+Configuration: ``IPRewriter(PUBLIC_ADDR [, FIRST_PORT])``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.packet import TcpSegment, UdpDatagram
+
+
+@register_element("IPRewriter")
+class IPRewriter(Element):
+    PORT_COUNT = (2, 2)  # in0/out0 = outbound, in1/out1 = inbound
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: public address required")
+        self.public_address = IPv4Address(args[0])
+        self.next_port = int(args[1]) if len(args) > 1 else 20000
+        self.max_flows = 4096
+        # (proto, inner_src, inner_sport, dst, dport) -> public port
+        self._out: "OrderedDict[Tuple, int]" = OrderedDict()
+        # (proto, public_port) -> (inner_src, inner_sport)
+        self._back: dict = {}
+        self.flows_created = 0
+
+    # ------------------------------------------------------------------
+    def _l4_ports(self, packet: Packet):
+        l4 = packet.ip.l4
+        if isinstance(l4, (UdpDatagram, TcpSegment)):
+            return l4
+        return None
+
+    def _allocate_port(self) -> int:
+        port = self.next_port
+        self.next_port += 1
+        if self.next_port > 65000:
+            self.next_port = 20000
+        return port
+
+    def push(self, port: int, packet: Packet) -> None:
+        l4 = self._l4_ports(packet)
+        if l4 is None:
+            self.output(port, packet)  # non-TCP/UDP passes untranslated
+            return
+        if port == 0:
+            self._outbound(packet, l4)
+        else:
+            self._inbound(packet, l4)
+
+    def _outbound(self, packet: Packet, l4) -> None:
+        key = (packet.ip.protocol, packet.ip.src, l4.src_port, packet.ip.dst, l4.dst_port)
+        public_port = self._out.get(key)
+        if public_port is None:
+            public_port = self._allocate_port()
+            self._out[key] = public_port
+            self._back[(packet.ip.protocol, public_port)] = (packet.ip.src, l4.src_port)
+            self.flows_created += 1
+            if len(self._out) > self.max_flows:
+                old_key, old_port = self._out.popitem(last=False)
+                self._back.pop((old_key[0], old_port), None)
+        else:
+            self._out.move_to_end(key)
+        rewritten = type(l4)(public_port, l4.dst_port, **_extra(l4))
+        packet.ip = packet.ip.copy(src=self.public_address, l4=rewritten)
+        self.output(0, packet)
+
+    def _inbound(self, packet: Packet, l4) -> None:
+        mapping = self._back.get((packet.ip.protocol, l4.dst_port))
+        if mapping is None or packet.ip.dst != self.public_address:
+            packet.verdict = packet.verdict or "reject"  # unsolicited
+            return
+        inner_src, inner_port = mapping
+        rewritten = type(l4)(l4.src_port, inner_port, **_extra(l4))
+        packet.ip = packet.ip.copy(dst=inner_src, l4=rewritten)
+        self.output(1, packet)
+
+    def take_state(self, predecessor: "IPRewriter") -> None:
+        self._out = OrderedDict(predecessor._out)
+        self._back = dict(predecessor._back)
+        self.next_port = predecessor.next_port
+        self.flows_created = predecessor.flows_created
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "flows":
+            return str(len(self._out))
+        if name == "flows_created":
+            return str(self.flows_created)
+        return super().read_handler(name)
+
+
+def _extra(l4) -> dict:
+    """Carry the non-port fields of a UDP/TCP header through a rewrite."""
+    if isinstance(l4, UdpDatagram):
+        return {"payload": l4.payload}
+    return {
+        "seq": l4.seq,
+        "ack": l4.ack,
+        "flags": l4.flags,
+        "window": l4.window,
+        "payload": l4.payload,
+    }

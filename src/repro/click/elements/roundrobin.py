@@ -1,0 +1,67 @@
+"""RoundRobinSwitch: the LB use case (§V-B).
+
+Balances packets (or whole TCP flows, with ``FLOWS`` as first argument)
+across its outputs in rotation.  Flow mode keeps a flow table so one
+connection always takes the same path — necessary for stateful
+middleboxes downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+
+
+@register_element("RoundRobinSwitch")
+class RoundRobinSwitch(Element):
+    PORT_COUNT = (1, None)
+
+    def configure(self, args: List[str]) -> None:
+        self.flow_mode = bool(args) and args[0].upper() == "FLOWS"
+        self._next = 0
+        self._flow_table: Dict[Tuple, int] = {}
+
+    def _flow_key(self, packet: Packet) -> Tuple:
+        l4 = packet.ip.l4
+        return (
+            packet.ip.src,
+            packet.ip.dst,
+            packet.ip.protocol,
+            getattr(l4, "src_port", 0),
+            getattr(l4, "dst_port", 0),
+        )
+
+    def push(self, port: int, packet: Packet) -> None:
+        n_outputs = len(self._outputs)
+        if n_outputs == 0:
+            raise ElementError(f"{self.name}: no outputs connected")
+        if self.flow_mode:
+            key = self._flow_key(packet)
+            out_port = self._flow_table.get(key)
+            if out_port is None:
+                out_port = self._next
+                self._flow_table[key] = out_port
+                self._next = (self._next + 1) % n_outputs
+        else:
+            out_port = self._next
+            self._next = (self._next + 1) % n_outputs
+        self.output(out_port, packet)
+
+    def take_state(self, predecessor: "RoundRobinSwitch") -> None:
+        self._flow_table = dict(predecessor._flow_table)
+        self._next = predecessor._next
+
+    def cost(self, packet: Packet) -> float:
+        model = self.router.cost_model if self.router else None
+        if model is None:
+            return 0.0
+        base = model.roundrobin_fixed
+        if self.router.context.get("in_enclave"):
+            base *= model.enclave_compute_factor
+        return base
+
+    def check_wiring(self) -> None:
+        if not self._outputs:
+            raise ElementError(f"{self.name}: no outputs connected")

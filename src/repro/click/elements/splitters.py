@@ -1,0 +1,121 @@
+"""Traffic-shaping splitters: the DDoS-prevention use case (§V-B).
+
+``TrustedSplitter`` rate-limits traffic using the SGX trusted time
+source.  Because each trusted-time call is expensive, it samples
+timestamps only every ``SAMPLE`` packets (the paper uses 500,000) and
+interpolates in between with a per-packet byte budget.
+``UntrustedSplitter`` is the server-side baseline that reads time with
+an ordinary system call on every packet.
+
+Both implement a token bucket over bytes: conforming packets leave on
+output 0; excess packets go to output 1 (rejected when unconnected).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import register_element
+
+
+class _TokenBucketSplitter(Element):
+    """Shared token-bucket machinery; subclasses provide the clock."""
+
+    PORT_COUNT = (1, None)
+    TRUSTED = False
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ElementError(f"{self.name}: rate argument (bits/s) required")
+        self.rate_bps = float(args[0])
+        self.sample_every = int(args[1]) if len(args) > 1 else 500_000
+        self.burst_bytes = float(args[2]) if len(args) > 2 else self.rate_bps / 8 * 0.1
+        self._tokens = self.burst_bytes
+        self._last_time: Optional[float] = None
+        self._since_sample = 0
+        self.packets_shaped = 0
+
+    # ------------------------------------------------------------------
+    def _read_clock(self) -> float:
+        raise NotImplementedError
+
+    def _maybe_refill(self) -> None:
+        self._since_sample += 1
+        if self._last_time is None or self._since_sample >= self.sample_every:
+            now = self._read_clock()
+            if self._last_time is not None:
+                elapsed = max(0.0, now - self._last_time)
+                self._tokens = min(self.burst_bytes, self._tokens + elapsed * self.rate_bps / 8)
+            self._last_time = now
+            self._since_sample = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        self._maybe_refill()
+        if self._tokens >= packet.length:
+            self._tokens -= packet.length
+            self.output(0, packet)
+        else:
+            self.packets_shaped += 1
+            packet.annotations["shaped"] = True
+            self.output(1, packet)
+
+    def take_state(self, predecessor: "_TokenBucketSplitter") -> None:
+        # inherit the bucket, but never more credit than the new burst
+        # allows (a rate *cut* must take effect immediately)
+        self._tokens = min(self.burst_bytes, predecessor._tokens)
+        self._last_time = predecessor._last_time
+        self.packets_shaped = predecessor.packets_shaped
+
+    def read_handler(self, name: str) -> str:
+        if name == "shaped":
+            return str(self.packets_shaped)
+        if name == "rate":
+            return str(self.rate_bps)
+        return super().read_handler(name)
+
+    def write_handler(self, name: str, value: str) -> None:
+        if name == "rate":
+            self.rate_bps = float(value)
+        else:
+            super().write_handler(name, value)
+
+    def cost(self, packet: Packet) -> float:
+        model = self.router.cost_model if self.router else None
+        if model is None:
+            return 0.0
+        base = model.splitter_fixed
+        # amortised clock cost
+        clock_cost = model.trusted_time_read if self.TRUSTED else model.syscall
+        base += clock_cost / max(1, self.sample_every)
+        context = self.router.context
+        if context.get("in_enclave"):
+            base *= model.enclave_compute_factor
+        base *= 1.0 + model.memory_bound_contention * context.get("oversubscription", 0.0)
+        return base
+
+
+@register_element("TrustedSplitter")
+class TrustedSplitter(_TokenBucketSplitter):
+    """Shapes with SGX trusted time (EndBox client side)."""
+
+    TRUSTED = True
+
+    def _read_clock(self) -> float:
+        trusted_time = self.router.context.get("trusted_time")
+        if trusted_time is None:
+            raise ElementError(f"{self.name}: no trusted_time in router context")
+        return trusted_time.read()
+
+
+@register_element("UntrustedSplitter")
+class UntrustedSplitter(_TokenBucketSplitter):
+    """Shapes with gettimeofday (vanilla server-side Click)."""
+
+    TRUSTED = False
+
+    def _read_clock(self) -> float:
+        clock = self.router.context.get("clock")
+        if clock is None:
+            raise ElementError(f"{self.name}: no clock in router context")
+        return clock()

@@ -1,0 +1,75 @@
+"""TLSDecrypt: transparent decryption of application TLS traffic (§III-D).
+
+The client's (untrusted) TLS library forwards negotiated session keys to
+the enclave through the VPN management interface; they land in a
+:class:`~repro.tlslib.keylog.TlsKeyRegistry` that this element finds in
+the router context under ``tls_keys``.
+
+For TCP segments belonging to a registered session the element reassembles
+TLS records across segment boundaries, decrypts them, and attaches the
+plaintext to the packet annotation ``tls_plaintext`` so downstream
+elements (e.g. IDSMatcher) can inspect it.  Packets of unknown sessions
+pass through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.click.element import Element, Packet
+from repro.click.registry import register_element
+from repro.netsim.packet import TcpSegment
+
+FlowKey = Tuple
+
+
+@register_element("TLSDecrypt")
+class TLSDecrypt(Element):
+    PORT_COUNT = (1, 1)
+
+    def configure(self, args: List[str]) -> None:
+        self._buffers: Dict[FlowKey, bytes] = {}
+        self.records_decrypted = 0
+        self.bytes_decrypted = 0
+
+    def push(self, port: int, packet: Packet) -> None:
+        registry = self.router.context.get("tls_keys") if self.router else None
+        l4 = packet.ip.l4
+        if registry is None or not isinstance(l4, TcpSegment) or not l4.payload:
+            self.output(0, packet)
+            return
+        key = (packet.ip.src, l4.src_port, packet.ip.dst, l4.dst_port)
+        session = registry.lookup(*key)
+        if session is None:
+            self.output(0, packet)
+            return
+        buffered = self._buffers.get(key, b"") + l4.payload
+        plaintext, remainder = session.decrypt_stream(buffered, sender=key[:2])
+        self._buffers[key] = remainder
+        if plaintext:
+            self.records_decrypted += 1
+            self.bytes_decrypted += len(plaintext)
+            packet.annotations["tls_plaintext"] = plaintext
+        self.output(0, packet)
+
+    def take_state(self, predecessor: "TLSDecrypt") -> None:
+        self._buffers = dict(predecessor._buffers)
+        self.records_decrypted = predecessor.records_decrypted
+        self.bytes_decrypted = predecessor.bytes_decrypted
+
+    def cost(self, packet: Packet) -> float:
+        model = self.router.cost_model if self.router else None
+        if model is None:
+            return 0.0
+        base = model.tlsdecrypt_fixed + len(packet.payload_bytes) * model.tlsdecrypt_per_byte
+        if self.router.context.get("in_enclave"):
+            base *= model.enclave_compute_factor
+        return base
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "records":
+            return str(self.records_decrypted)
+        if name == "bytes":
+            return str(self.bytes_decrypted)
+        return super().read_handler(name)

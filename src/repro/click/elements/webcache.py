@@ -1,0 +1,140 @@
+"""WebCache: a client-side HTTP response cache (§III-A's "caching").
+
+The paper motivates EndBox with middlebox functions "such as caching
+[...] that all cannot operate on encrypted packets" — inside the enclave
+they can, because TLSDecrypt recovers the plaintext.
+
+This element implements a transparent response cache for the plain-HTTP
+case (the common enterprise proxy-cache scenario):
+
+* **requests** (TCP toward the configured ports): on a cache hit the
+  element *answers from the cache* — it synthesises the response packet
+  stream locally and drops the outbound request, saving the round trip
+  and upstream bandwidth;
+* **responses**: cacheable 200-responses are stored under their request
+  URL (bounded LRU).
+
+Only single-packet GET requests/responses are handled (larger flows pass
+through uncached), which covers the small static objects that dominate
+request counts.  The element needs the router context key ``inject`` —
+a callable delivering a synthesized response packet back to the local
+stack — wired up by the EndBox client when caching is enabled.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.click.element import Element, Packet
+from repro.click.registry import register_element
+from repro.netsim.packet import IPv4Packet, TcpSegment
+
+_REQUEST_RE = re.compile(rb"^GET (\S+) HTTP/1\.[01]\r\n")
+_RESPONSE_RE = re.compile(rb"^HTTP/1\.[01] 200 ")
+
+
+@register_element("WebCache")
+class WebCache(Element):
+    PORT_COUNT = (1, 1)
+
+    def configure(self, args: List[str]) -> None:
+        self.ports = {int(arg) for arg in args if arg.strip().isdigit()} or {80}
+        self.capacity = 256
+        self._cache: "OrderedDict[Tuple, bytes]" = OrderedDict()
+        self._pending: dict = {}  # flow -> cache key awaiting a response
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, dst, dport, url: bytes) -> Tuple:
+        return (dst, dport, url)
+
+    def push(self, port: int, packet: Packet) -> None:
+        l4 = packet.ip.l4
+        if not isinstance(l4, TcpSegment) or not l4.payload:
+            self.output(0, packet)
+            return
+        if l4.dst_port in self.ports:
+            self._handle_request(packet, l4)
+        elif l4.src_port in self.ports:
+            self._handle_response(packet, l4)
+        else:
+            self.output(0, packet)
+
+    def _handle_request(self, packet: Packet, segment: TcpSegment) -> None:
+        match = _REQUEST_RE.match(segment.payload)
+        if match is None:
+            self.output(0, packet)
+            return
+        key = self._cache_key(packet.ip.dst, segment.dst_port, match.group(1))
+        cached = self._cache.get(key)
+        if cached is None:
+            self.misses += 1
+            flow = (packet.ip.src, segment.src_port, packet.ip.dst, segment.dst_port)
+            self._pending[flow] = key
+            self.output(0, packet)
+            return
+        self._cache.move_to_end(key)
+        self.hits += 1
+        inject = self.router.context.get("inject") if self.router else None
+        if inject is not None:
+            response = IPv4Packet(
+                src=packet.ip.dst,
+                dst=packet.ip.src,
+                l4=TcpSegment(
+                    src_port=segment.dst_port,
+                    dst_port=segment.src_port,
+                    seq=segment.ack,
+                    ack=segment.seq + len(segment.payload),
+                    flags=0x18,  # PSH|ACK
+                    payload=cached,
+                ),
+            )
+            inject(response)
+            packet.annotations["cache_hit"] = True
+            packet.verdict = "reject"  # the request never leaves the host
+            return
+        # no injector available: pass through (cache acts as observer)
+        self.output(0, packet)
+
+    def _handle_response(self, packet: Packet, segment: TcpSegment) -> None:
+        flow = (packet.ip.dst, segment.dst_port, packet.ip.src, segment.src_port)
+        key = self._pending.pop(flow, None)
+        if key is not None and _RESPONSE_RE.match(segment.payload):
+            self._cache[key] = segment.payload
+            self._cache.move_to_end(key)
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+            self.stores += 1
+        self.output(0, packet)
+
+    # ------------------------------------------------------------------
+    def take_state(self, predecessor: "WebCache") -> None:
+        self._cache = OrderedDict(predecessor._cache)
+        self.hits = predecessor.hits
+        self.misses = predecessor.misses
+        self.stores = predecessor.stores
+
+    def cost(self, packet: Packet) -> float:
+        model = self.router.cost_model if self.router else None
+        if model is None:
+            return 0.0
+        base = model.click_element_fixed * 3  # parse + table lookup
+        if self.router.context.get("in_enclave"):
+            base *= model.enclave_compute_factor
+        return base
+
+    def read_handler(self, name: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        if name == "hits":
+            return str(self.hits)
+        if name == "misses":
+            return str(self.misses)
+        if name == "stores":
+            return str(self.stores)
+        if name == "entries":
+            return str(len(self._cache))
+        return super().read_handler(name)

@@ -1,0 +1,30 @@
+"""Registry mapping Click class names to Python element classes."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.click.element import Element, ElementError
+
+element_registry: Dict[str, Type[Element]] = {}
+
+
+def register_element(name: str):
+    """Class decorator: make an element available to the config language."""
+
+    def decorator(cls: Type[Element]) -> Type[Element]:
+        if name in element_registry:
+            raise ElementError(f"duplicate element class {name!r}")
+        cls.ELEMENT_NAME = name
+        element_registry[name] = cls
+        return cls
+
+    return decorator
+
+
+def lookup_element(name: str) -> Type[Element]:
+    """Resolve a Click class name; raises ElementError if unknown."""
+    try:
+        return element_registry[name]
+    except KeyError:
+        raise ElementError(f"unknown element class {name!r}") from None

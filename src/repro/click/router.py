@@ -1,0 +1,103 @@
+"""The Click router: instantiate, wire and drive an element graph.
+
+A router is built from a parsed configuration.  Packets enter through
+the ``FromDevice`` element and leave through ``ToDevice`` (accepted) or
+any dropping element (rejected); :meth:`Router.process` returns the
+Click-level verdict plus the possibly transformed packet, which is what
+the VPN layer consumes ("the ToDevice element is modified to signal
+OpenVPN when a packet was accepted or rejected", §IV).
+
+Per-element costs accumulate into an optional
+:class:`~repro.sgx.gateway.CostLedger` so the enclosing pipeline can
+charge simulated CPU time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.config import ParsedConfig, parse_config
+from repro.click.element import Element, ElementError, Packet
+from repro.click.registry import lookup_element
+from repro.netsim.packet import IPv4Packet
+from repro.sgx.gateway import CostLedger
+
+
+class Router:
+    """An instantiated Click configuration."""
+
+    def __init__(
+        self,
+        config_text: str,
+        cost_model=None,
+        ledger: Optional[CostLedger] = None,
+        context: Optional[dict] = None,
+    ) -> None:
+        self.config_text = config_text
+        self.cost_model = cost_model
+        self.ledger = ledger
+        #: Host-environment objects elements may need (trusted time,
+        #: TLS key registry, ...), injected by the embedding process.
+        self.context = context or {}
+        self.elements: Dict[str, Element] = {}
+        self._entry: Optional[Element] = None
+        self.packets_processed = 0
+        self._build(parse_config(config_text))
+
+    # ------------------------------------------------------------------
+    def _build(self, parsed: ParsedConfig) -> None:
+        for declaration in parsed.declarations:
+            cls = lookup_element(declaration.class_name)
+            self.elements[declaration.name] = cls(declaration.name, declaration.args)
+        for connection in parsed.connections:
+            src = self.elements[connection.src]
+            dst = self.elements[connection.dst]
+            src.connect_output(connection.src_port, dst, connection.dst_port)
+        for element in self.elements.values():
+            element.initialize(self)
+        from repro.click.elements.device import FromDevice
+
+        entries = [e for e in self.elements.values() if isinstance(e, FromDevice)]
+        if len(entries) > 1:
+            raise ElementError("configuration has multiple FromDevice elements")
+        self._entry = entries[0] if entries else None
+
+    # ------------------------------------------------------------------
+    def charge(self, element: Element, packet: Packet) -> None:
+        """Add an element's per-packet cost to the ledger."""
+        if self.ledger is not None:
+            self.ledger.add(element.cost(packet))
+
+    def process(self, ip_packet: IPv4Packet) -> Tuple[bool, IPv4Packet]:
+        """Run one packet through the graph.
+
+        Returns ``(accepted, packet)`` where ``packet`` reflects any
+        header/payload rewrites elements performed.
+        """
+        if self._entry is None:
+            raise ElementError("configuration has no FromDevice entry point")
+        packet = Packet(ip_packet)
+        self.packets_processed += 1
+        self._entry._receive(0, packet)
+        accepted = packet.verdict == "accept"
+        return accepted, packet.ip
+
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> Element:
+        """Look up an element by name; raises ElementError if missing."""
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise ElementError(f"no element named {name!r}") from None
+
+    def find_elements(self, cls) -> List[Element]:
+        """Every element that is an instance of the class."""
+        return [e for e in self.elements.values() if isinstance(e, cls)]
+
+    def read_handler(self, element_name: str, handler: str) -> str:
+        """Read a named statistic (Click's read-handler interface)."""
+        return self.element(element_name).read_handler(handler)
+
+    def write_handler(self, element_name: str, handler: str, value: str = "") -> None:
+        """Write a named control (Click's write-handler interface)."""
+        self.element(element_name).write_handler(handler, value)

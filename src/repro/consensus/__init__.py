@@ -1,0 +1,25 @@
+"""Distributed consensus substrate (the ETTM baseline of §VI).
+
+The paper's closest related system, ETTM [20], manages middlebox
+configuration through Paxos among the end hosts instead of EndBox's
+trusted configuration servers — and the paper dismisses that choice
+because "Paxos does not scale well, induces high latencies, and is not
+applicable when mobile nodes with an unstable connection are involved".
+
+To turn that argument into a measurable ablation, this package provides:
+
+* :mod:`~repro.consensus.paxos` — a real single-decree/multi-instance
+  Paxos (prepare/promise, accept/accepted, learn) running over the
+  simulated network with timeouts, retries and ballot escalation,
+* :mod:`~repro.consensus.ettm` — an ETTM-style configuration manager
+  that rolls a new configuration out by reaching consensus among all
+  client nodes.
+
+``repro.experiments.ablation_consensus`` compares rollout latency and
+message cost against EndBox's Fig 5 mechanism.
+"""
+
+from repro.consensus.paxos import PaxosNode, PaxosTimeout
+from repro.consensus.ettm import EttmConfigManager
+
+__all__ = ["EttmConfigManager", "PaxosNode", "PaxosTimeout"]

@@ -1,0 +1,241 @@
+"""Paxos over the simulated network.
+
+A faithful implementation of the synod protocol (Lamport, "Paxos Made
+Simple") with multi-instance support:
+
+* ballots are ``(round, node_id)`` pairs, totally ordered,
+* acceptors keep ``promised`` and ``(accepted_ballot, accepted_value)``
+  per instance and answer prepare/accept strictly by the protocol rules,
+* proposers retry with escalating ballots and randomised backoff on
+  timeout (duelling-proposer livelock is broken probabilistically),
+* once a proposer sees a majority of accepted messages it broadcasts a
+  learn message; every node also learns passively.
+
+Nodes can be marked unreachable (``node.online = False``) to model the
+mobile/flaky clients the paper argues make consensus-based management
+impractical; messages to and from offline nodes vanish.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.host import Host
+from repro.sim import SeededRng
+
+PAXOS_PORT = 4100
+
+Ballot = Tuple[int, int]  # (round, node_id)
+
+
+class PaxosTimeout(RuntimeError):
+    """No quorum could be assembled within the deadline."""
+
+
+class _InstanceState:
+    __slots__ = ("promised", "accepted_ballot", "accepted_value")
+
+    def __init__(self) -> None:
+        self.promised: Optional[Ballot] = None
+        self.accepted_ballot: Optional[Ballot] = None
+        self.accepted_value = None
+
+
+class PaxosNode:
+    """One participant: acceptor + learner + (on demand) proposer."""
+
+    def __init__(
+        self,
+        host: Host,
+        node_id: int,
+        peers: List[IPv4Address],
+        port: int = PAXOS_PORT,
+        rtt_timeout: float = 0.05,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.node_id = node_id
+        self.peers = [IPv4Address(p) for p in peers]  # includes self
+        self.port = port
+        self.rtt_timeout = rtt_timeout
+        self.rng = rng or SeededRng(node_id, "paxos")
+        self.online = True
+        self._state: Dict[int, _InstanceState] = {}
+        self.learned: Dict[int, object] = {}
+        self._learn_waiters: Dict[int, List] = {}
+        self._quorum = len(self.peers) // 2 + 1
+        self._next_round = 1
+        self.messages_sent = 0
+        self._proposal_inbox: Dict[Tuple[int, str], List] = {}
+        self.sock = host.stack.udp_socket(port)
+        self.sim.process(self._rx_loop(), name=f"paxos-{node_id}")
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send(self, dst: IPv4Address, message: dict) -> None:
+        if not self.online:
+            return
+        self.messages_sent += 1
+        self.sock.sendto(json.dumps(message).encode(), dst, self.port)
+
+    def _broadcast(self, message: dict) -> None:
+        for peer in self.peers:
+            self._send(peer, message)
+
+    def _instance(self, instance: int) -> _InstanceState:
+        state = self._state.get(instance)
+        if state is None:
+            state = self._state[instance] = _InstanceState()
+        return state
+
+    # ------------------------------------------------------------------
+    # acceptor / learner message handling
+    # ------------------------------------------------------------------
+    def _rx_loop(self):
+        while True:
+            payload, src, _port, _ = yield self.sock.recv()
+            if not self.online:
+                continue
+            try:
+                message = json.loads(payload.decode())
+            except ValueError:
+                continue
+            handler = getattr(self, f"_on_{message.get('type', '?')}", None)
+            if handler is not None:
+                handler(message, src)
+
+    def _on_prepare(self, message: dict, src: IPv4Address) -> None:
+        instance, ballot = message["instance"], tuple(message["ballot"])
+        state = self._instance(instance)
+        if state.promised is None or ballot > state.promised:
+            state.promised = ballot
+            self._send(
+                src,
+                {
+                    "type": "promise",
+                    "instance": instance,
+                    "ballot": list(ballot),
+                    "accepted_ballot": list(state.accepted_ballot) if state.accepted_ballot else None,
+                    "accepted_value": state.accepted_value,
+                },
+            )
+        else:
+            self._send(
+                src,
+                {"type": "nack", "instance": instance, "ballot": list(ballot), "promised": list(state.promised)},
+            )
+
+    def _on_accept(self, message: dict, src: IPv4Address) -> None:
+        instance, ballot = message["instance"], tuple(message["ballot"])
+        state = self._instance(instance)
+        if state.promised is None or ballot >= state.promised:
+            state.promised = ballot
+            state.accepted_ballot = ballot
+            state.accepted_value = message["value"]
+            self._send(src, {"type": "accepted", "instance": instance, "ballot": list(ballot)})
+        else:
+            self._send(
+                src,
+                {"type": "nack", "instance": instance, "ballot": list(ballot), "promised": list(state.promised)},
+            )
+
+    def _on_learn(self, message: dict, _src: IPv4Address) -> None:
+        self._record_learned(message["instance"], message["value"])
+
+    def _record_learned(self, instance: int, value) -> None:
+        if instance in self.learned:
+            return
+        self.learned[instance] = value
+        for waiter in self._learn_waiters.pop(instance, []):
+            if not waiter.triggered:
+                waiter.succeed(value)
+
+    def _on_promise(self, message: dict, _src: IPv4Address) -> None:
+        self._proposal_inbox.setdefault((message["instance"], "promise"), []).append(message)
+
+    def _on_accepted(self, message: dict, _src: IPv4Address) -> None:
+        self._proposal_inbox.setdefault((message["instance"], "accepted"), []).append(message)
+
+    def _on_nack(self, message: dict, _src: IPv4Address) -> None:
+        self._proposal_inbox.setdefault((message["instance"], "nack"), []).append(message)
+
+    # ------------------------------------------------------------------
+    # proposer
+    # ------------------------------------------------------------------
+    def wait_learned(self, instance: int):
+        """Event that fires when this node learns the instance's value."""
+        if instance in self.learned:
+            event = self.sim.event("learned")
+            event.succeed(self.learned[instance])
+            return event
+        event = self.sim.event("learn-wait")
+        self._learn_waiters.setdefault(instance, []).append(event)
+        return event
+
+    def _collect(self, instance: int, kind: str, needed: int, deadline: float):
+        """Wait until ``needed`` responses of ``kind`` arrive or deadline."""
+        key = (instance, kind)
+        while self.sim.now < deadline:
+            if len(self._proposal_inbox.get(key, [])) >= needed:
+                return self._proposal_inbox.pop(key)
+            yield self.sim.timeout(min(0.002, max(1e-4, deadline - self.sim.now)))
+        return None
+
+    def propose(self, instance: int, value, max_attempts: int = 12):
+        """Process generator: drive ``instance`` to consensus.
+
+        Returns the chosen value (possibly another proposer's).  Raises
+        :class:`PaxosTimeout` when no quorum answers.
+        """
+        for _attempt in range(max_attempts):
+            if instance in self.learned:
+                return self.learned[instance]
+            ballot: Ballot = (self._next_round, self.node_id)
+            self._next_round += 1
+            self._proposal_inbox.pop((instance, "promise"), None)
+            self._proposal_inbox.pop((instance, "accepted"), None)
+            self._proposal_inbox.pop((instance, "nack"), None)
+
+            # phase 1: prepare / promise
+            self._broadcast({"type": "prepare", "instance": instance, "ballot": list(ballot)})
+            promises = yield from self._collect(
+                instance, "promise", self._quorum, self.sim.now + self.rtt_timeout
+            )
+            if promises is None:
+                yield from self._backoff(_attempt)
+                continue
+            # adopt the highest already-accepted value, if any
+            chosen = value
+            best: Optional[Ballot] = None
+            for promise in promises:
+                if promise["accepted_ballot"] is not None:
+                    accepted_ballot = tuple(promise["accepted_ballot"])
+                    if best is None or accepted_ballot > best:
+                        best = accepted_ballot
+                        chosen = promise["accepted_value"]
+
+            # phase 2: accept / accepted
+            self._broadcast(
+                {"type": "accept", "instance": instance, "ballot": list(ballot), "value": chosen}
+            )
+            accepted = yield from self._collect(
+                instance, "accepted", self._quorum, self.sim.now + self.rtt_timeout
+            )
+            if accepted is None:
+                yield from self._backoff(_attempt)
+                continue
+            self._broadcast({"type": "learn", "instance": instance, "value": chosen})
+            self._record_learned(instance, chosen)
+            return chosen
+        raise PaxosTimeout(
+            f"node {self.node_id}: no consensus on instance {instance} "
+            f"after {max_attempts} ballots (quorum {self._quorum}/{len(self.peers)})"
+        )
+
+    def _backoff(self, attempt: int):
+        delay = self.rng.uniform(0.5, 1.5) * self.rtt_timeout * (1.5**attempt)
+        yield self.sim.timeout(min(delay, 1.0))

@@ -1,0 +1,102 @@
+"""The deployment certificate authority (Fig 4, steps 3-6).
+
+Operated by the network owner.  The CA:
+
+* keeps a whitelist of acceptable enclave measurements (MRENCLAVEs of
+  released EndBox builds),
+* relays quotes to the Intel Attestation Service and checks the signed
+  verdict,
+* verifies that the quoted report binds the public key the client
+  claims (report_data = SHA-256(pubkey)),
+* signs the enclave public key into a VPN certificate,
+* wraps the symmetric configuration key to the enclave's public key
+  (ECIES over X25519), so only the attested enclave can decrypt
+  configuration bundles.
+
+Unattested clients never obtain certificates and therefore can never
+establish VPN connections (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import sha256
+from repro.crypto.rsa import RsaKeyPair
+from repro.crypto.stream import KeystreamCipher
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.sgx.attestation import IntelAttestationService, Quote
+from repro.vpn.handshake import Certificate, issue_certificate
+
+
+class EnrollmentError(RuntimeError):
+    """The CA refused to certify a client."""
+
+
+class CertificateAuthority:
+    """Network-owner CA with attestation-gated enrollment."""
+
+    def __init__(self, ias: IntelAttestationService, seed: bytes = b"endbox-ca") -> None:
+        drbg = HmacDrbg(seed)
+        self.key_pair = RsaKeyPair(bits=1024, seed=drbg.generate(32))
+        self.ias = ias
+        #: the symmetric key used to encrypt configuration bundles
+        self.shared_config_key = drbg.generate(32)
+        self._whitelist: Set[bytes] = set()
+        self._wrap_drbg = drbg.child(b"wrap")
+        self.enrollments = 0
+        self.rejections = 0
+
+    @property
+    def public_key(self):
+        return self.key_pair.public_key
+
+    # ------------------------------------------------------------------
+    def whitelist_measurement(self, mrenclave: bytes) -> None:
+        """Admit a released EndBox build (its MRENCLAVE)."""
+        self._whitelist.add(mrenclave)
+
+    def issue_server_certificate(self, subject: str, public_key: bytes) -> Certificate:
+        """Directly certify infrastructure (the VPN server's identity)."""
+        return issue_certificate(self.key_pair, subject, public_key)
+
+    # ------------------------------------------------------------------
+    def enroll(self, quote: Quote, claimed_public_key: bytes) -> Tuple[Certificate, bytes]:
+        """Fig 4 steps 3-6: verify the quote, certify, wrap the key.
+
+        Returns ``(certificate, wrapped_shared_key)``.
+        """
+        verdict = self.ias.verify_quote(quote)  # steps 3-4
+        if not verdict.verify(self.ias.signing_key.public_key):
+            self.rejections += 1
+            raise EnrollmentError("IAS verification report has a bad signature")
+        if not verdict.ok:
+            self.rejections += 1
+            raise EnrollmentError(f"IAS rejected the quote: {verdict.reason}")
+        if quote.report.mrenclave not in self._whitelist:
+            self.rejections += 1
+            raise EnrollmentError("unknown enclave measurement (not a released EndBox build)")
+        expected_binding = sha256(claimed_public_key).ljust(64, b"\x00")
+        if quote.report.report_data != expected_binding:
+            self.rejections += 1
+            raise EnrollmentError("quote does not bind the claimed public key")
+        certificate = issue_certificate(
+            self.key_pair, f"endbox:{quote.report.platform_id}", claimed_public_key
+        )  # step 5
+        wrapped = self._wrap_shared_key(claimed_public_key)  # step 6
+        self.enrollments += 1
+        return certificate, wrapped
+
+    def _wrap_shared_key(self, enclave_public_key: bytes) -> bytes:
+        """ECIES: ephemeral X25519 + keystream encryption of the key."""
+        ephemeral = X25519PrivateKey(self._wrap_drbg.generate(32))
+        shared = ephemeral.exchange(enclave_public_key)
+        ciphertext = KeystreamCipher(sha256(shared)).encrypt(b"wrap", self.shared_config_key)
+        return ephemeral.public_bytes + ciphertext
+
+    # ------------------------------------------------------------------
+    def sign_config(self, version: int, payload: bytes, encrypted: bool) -> int:
+        """Sign a configuration bundle (used by ConfigPublisher)."""
+        body = str(version).encode() + (b"\x01" if encrypted else b"\x00") + payload
+        return self.key_pair.sign(body)

@@ -1,0 +1,221 @@
+"""The EndBox client: a partitioned VPN client with in-enclave Click.
+
+Architecture (Fig 3): the untrusted part keeps doing packet
+encapsulation, fragmentation and socket I/O; the security-sensitive part
+— data-channel cryptography and all middlebox functions — runs inside
+the enclave behind a single data-plane ecall per packet (§IV-A).
+
+On top of the vanilla client this adds:
+
+* per-packet processing through the in-enclave Click graph (egress and
+  ingress), with packets rejected by the middlebox never leaving /
+  reaching the machine,
+* the client-to-client QoS flagging optimisation (0xEB, §IV-A),
+* TLS session-key intake from the custom OpenSSL via the management
+  interface (§III-D),
+* the configuration-update protocol (Fig 5): ping announcements trigger
+  an asynchronous fetch from the configuration server, in-enclave
+  signature verification + decryption, hot-swap, and a version bump in
+  subsequent pings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config_update import UpdateTimings
+from repro.core.enclave_app import ConfigError, EndBoxEnclave
+from repro.http.client import HttpClient, HttpError
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.host import Host
+from repro.netsim.packet import IPv4Packet
+from repro.sgx.enclave import EnclaveMode
+from repro.vpn.costing import (
+    client_egress_cost,
+    client_ingress_completion_cost,
+    crypto_cost,
+)
+from repro.vpn.openvpn import OpenVpnClient
+from repro.vpn.ping import PingMessage
+
+#: enclave transitions per packet without the single-ecall optimisation
+#: (one ecall per crypto call plus memory-management ocalls, §IV-A/V-G)
+UNOPTIMIZED_TRANSITIONS = 26
+
+
+class EndBoxClient(OpenVpnClient):
+    """OpenVPN client + enclave-guarded middlebox functions."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_addr: IPv4Address,
+        endbox: EndBoxEnclave,
+        ca_public_key,
+        click_config: str,
+        ruleset_text: str = "",
+        config_server: Optional[Tuple[IPv4Address, int]] = None,
+        single_ecall_optimization: bool = True,
+        c2c_flagging: bool = True,
+        **vpn_kwargs,
+    ) -> None:
+        self.endbox = endbox
+        state = endbox.enclave.trusted_state
+        identity_key = state.get("identity_key")
+        certificate = state.get("certificate")
+        if identity_key is None or certificate is None:
+            raise ValueError("enclave is not provisioned (run provision_client first)")
+        state.setdefault("cost_model", vpn_kwargs.get("cost_model"))
+        super().__init__(
+            host,
+            server_addr,
+            identity_key,
+            certificate,
+            ca_public_key,
+            **vpn_kwargs,
+        )
+        state["cost_model"] = self.model
+        self.single_ecall_optimization = single_ecall_optimization
+        self.c2c_flagging = c2c_flagging
+        self.config_server = config_server
+        self.click_config = click_config
+        self.packets_dropped_by_click = 0
+        self.update_timings: list = []
+        self.update_in_progress = False
+        self.endbox.gateway.ecall(
+            "initialize", click_config, ruleset_text, sim=self.sim, payload_bytes=len(click_config)
+        )
+        self.management.on_tls_keys(self._register_tls_session)
+        self.on_server_announcement = self._handle_announcement
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def _enclave_packet(self, packet: IPv4Packet, direction: str) -> Tuple[bool, IPv4Packet, float]:
+        gateway = self.endbox.gateway
+        if self.sim.now < getattr(self, "_swap_until", 0.0):
+            # the Click graph is mid-hot-swap: packets in this window are
+            # dropped, exactly one ping in the Fig 11 experiment
+            self.packets_dropped_by_click += 1
+            return False, packet, self.model.partition_fixed
+        accepted, packet = gateway.ecall(
+            "process_packet",
+            packet,
+            direction,
+            self.mode.value,
+            self.c2c_flagging,
+            payload_bytes=len(packet),
+        )
+        extra_transitions = 0.0
+        if (
+            not self.single_ecall_optimization
+            and self.endbox.enclave.mode is EnclaveMode.HARDWARE
+        ):
+            extra_transitions = (UNOPTIMIZED_TRANSITIONS - 2) * self.model.enclave_transition
+        return accepted, packet, gateway.ledger.drain() + extra_transitions
+
+    def process_egress(self, packet: IPv4Packet) -> Tuple[bool, IPv4Packet, float]:
+        """Per-packet egress hook; returns (accept, packet, cpu_seconds)."""
+        size = len(packet)
+        base = (
+            client_egress_cost(self.model, size, self.mode)
+            - crypto_cost(self.model, size, self.mode)  # crypto moved into the enclave
+            + self.model.partition_fixed
+        )
+        accepted, packet, enclave_cost = self._enclave_packet(packet, "egress")
+        if not accepted:
+            self.packets_dropped_by_click += 1
+        return accepted, packet, base + enclave_cost
+
+    def process_ingress(self, packet: IPv4Packet) -> Tuple[bool, IPv4Packet, float]:
+        size = len(packet)
+        # per-datagram recv costs were charged as fragments arrived
+        # (without crypto: decryption happens in the single ecall below)
+        base = client_ingress_completion_cost(self.model, size) + self.model.partition_fixed
+        accepted, packet, enclave_cost = self._enclave_packet(packet, "ingress")
+        if not accepted:
+            self.packets_dropped_by_click += 1
+        return accepted, packet, base + enclave_cost
+
+    def fragment_crypto_mode(self):
+        return None  # EndBox decrypts inside the enclave, not per datagram
+
+    # ------------------------------------------------------------------
+    # TLS key intake (§III-D)
+    # ------------------------------------------------------------------
+    def _register_tls_session(self, session) -> None:
+        self.endbox.gateway.ecall("register_tls_session", session)
+
+    # ------------------------------------------------------------------
+    # configuration updates (Fig 5, client side)
+    # ------------------------------------------------------------------
+    def _handle_announcement(self, ping: PingMessage) -> None:
+        if ping.config_version <= self.config_version or self.update_in_progress:
+            return
+        if self.config_server is None:
+            return
+        self.update_in_progress = True
+        self.sim.process(
+            self._fetch_and_apply(ping.config_version), name=f"{self.host.name}.config-update"
+        )
+
+    def _fetch_and_apply(self, version: int):
+        """Fig 5 steps 5-9: fetch, decrypt, hot-swap, confirm."""
+        try:
+            server_addr, server_port = self.config_server
+            http = HttpClient(self.host)
+            fetch_started = self.sim.now
+            try:
+                response = yield self.sim.process(
+                    http.get(server_addr, f"/configs/v{version}", port=server_port)
+                )
+            except HttpError:
+                return
+            if response.status != 200:
+                return
+            fetch_s = self.sim.now - fetch_started
+            try:
+                applied_version, swap = self.endbox.gateway.ecall(
+                    "apply_config", response.body, payload_bytes=len(response.body)
+                )
+            except ConfigError:
+                return
+            # decrypt + hotswap happen inside the enclave; the packet path
+            # is unavailable while the graph is rebuilt (Fig 11's lost ping)
+            self._swap_until = self.sim.now + swap.decrypt_s + swap.hotswap_s
+            yield from self._charge(self.endbox.gateway.ledger.drain() + swap.hotswap_s)
+            self.config_version = applied_version
+            self.update_timings.append(
+                UpdateTimings(
+                    version=applied_version,
+                    fetch_s=fetch_s,
+                    decrypt_s=swap.decrypt_s,
+                    hotswap_s=swap.hotswap_s,
+                )
+            )
+            self._send_ping()  # step 9: prove the successful update
+        finally:
+            self.update_in_progress = False
+
+    def apply_config_now(self, blob: bytes):
+        """Process generator: apply a fetched bundle immediately.
+
+        Used by experiments that need deterministic swap timing (Fig 11);
+        the normal path is the announcement-triggered
+        :meth:`_fetch_and_apply`.
+        """
+        applied_version, swap = self.endbox.gateway.ecall(
+            "apply_config", blob, payload_bytes=len(blob)
+        )
+        self._swap_until = self.sim.now + swap.decrypt_s + swap.hotswap_s
+        yield from self._charge(self.endbox.gateway.ledger.drain() + swap.hotswap_s)
+        self.config_version = applied_version
+        self._send_ping()
+        return swap
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def click_handler(self, element: str, handler: str) -> str:
+        """Read a Click handler inside the enclave (diagnostics)."""
+        return self.endbox.gateway.ecall("read_handler", element, handler)

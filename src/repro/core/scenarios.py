@@ -1,0 +1,367 @@
+"""Turnkey deployment builders for the paper's scenarios (§II-A, §V-B).
+
+``build_deployment`` assembles a complete simulated world — topology,
+IAS, CA, attested client enclaves, the EndBox (or baseline) VPN server,
+configuration file server and internal service hosts — for any of the
+evaluation setups:
+
+* ``"vanilla"``        — unmodified OpenVPN, no middlebox,
+* ``"openvpn_click"``  — OpenVPN with server-side Click instances,
+* ``"endbox_sgx"``     — EndBox, enclave in hardware mode,
+* ``"endbox_sim"``     — EndBox, enclave in SDK simulation mode,
+
+crossed with the five middlebox use cases (NOP/LB/FW/IDPS/DDoS) and the
+two deployment scenarios:
+
+* ``"enterprise"`` — data channel encrypted, configurations encrypted,
+* ``"isp"``        — configurations inspectable by customers; data
+  channel encryption optional (``isp_no_encryption`` applies the §IV-A
+  traffic-protection optimisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.click import configs as click_configs
+from repro.click.router import Router
+from repro.core.ca import CertificateAuthority
+from repro.core.config_update import ConfigFileServer, ConfigPublisher
+from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
+from repro.core.endbox_client import EndBoxClient
+from repro.core.endbox_server import EndBoxServer
+from repro.core.provisioning import provision_client
+from repro.costs.model import CostModel, default_cost_model
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.ids.community_rules import ruleset_text
+from repro.ids.snort_rules import parse_rules
+from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.host import Host, class_a_host, class_b_host
+from repro.netsim.topology import StarTopology
+from repro.sgx.attestation import IntelAttestationService, SgxPlatform
+from repro.sgx.enclave import EnclaveMode
+from repro.sgx.gateway import CostLedger
+from repro.sgx.sealing import SealedStorage
+from repro.sim import Simulator
+from repro.vpn.channel import ProtectionMode
+from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer
+
+MANAGED_NET = "10.0.0.0/16"
+TUNNEL_NET = "10.8.0.0/24"
+
+SETUPS = ("vanilla", "openvpn_click", "endbox_sgx", "endbox_sim")
+
+
+def _use_case_configs(use_case: str, server_side: bool) -> Tuple[str, str]:
+    """(click config text, ruleset text) for a use case."""
+    rules = ""
+    if use_case == "NOP":
+        config = click_configs.nop_config()
+    elif use_case == "LB":
+        config = click_configs.lb_config()
+    elif use_case == "FW":
+        config = click_configs.firewall_config()
+    elif use_case == "IDPS":
+        config = click_configs.idps_config()
+        rules = ruleset_text()
+    elif use_case == "DDoS":
+        if server_side:
+            config = click_configs.ddos_config_untrusted(rate_bps=1e9)
+        else:
+            config = click_configs.ddos_config(rate_bps=1e9)
+        rules = ruleset_text()
+    else:
+        raise ValueError(f"unknown use case {use_case!r}")
+    return config, rules
+
+
+@dataclass
+class EndBoxDeployment:
+    """Everything an experiment needs, in one place."""
+
+    sim: Simulator
+    topo: StarTopology
+    model: CostModel
+    setup: str
+    use_case: str
+    scenario: str
+    ias: IntelAttestationService
+    ca: CertificateAuthority
+    server_host: Host
+    server: OpenVpnServer
+    config_server: Optional[ConfigFileServer]
+    publisher: ConfigPublisher
+    clients: List[OpenVpnClient] = field(default_factory=list)
+    client_hosts: List[Host] = field(default_factory=list)
+    internal_hosts: List[Host] = field(default_factory=list)
+    enclaves: List[EndBoxEnclave] = field(default_factory=list)
+    storages: List[SealedStorage] = field(default_factory=list)
+
+    def connect_all(self, until: float = 10.0) -> None:
+        """Start every client and wait for all tunnels to establish."""
+        for client in self.clients:
+            client.start()
+        self.sim.run(until=until)
+        for client in self.clients:
+            if not client.connected_event.triggered:
+                raise RuntimeError(f"{client.host.name}: VPN connection not established")
+            if client.connected_event.exception is not None:
+                raise client.connected_event.exception
+
+    @property
+    def internal(self) -> Host:
+        return self.internal_hosts[0]
+
+
+def build_deployment(
+    n_clients: int = 1,
+    setup: str = "endbox_sgx",
+    use_case: str = "NOP",
+    scenario: str = "enterprise",
+    cost_model: Optional[CostModel] = None,
+    charge_cpu: bool = True,
+    ping_interval: float = 1.0,
+    n_internal_hosts: int = 1,
+    protect_internal: bool = True,
+    isp_no_encryption: bool = False,
+    single_ecall_optimization: bool = True,
+    c2c_flagging: bool = True,
+    with_config_server: bool = True,
+    seed: bytes = b"deployment",
+) -> EndBoxDeployment:
+    """Build a full simulated deployment (not yet connected)."""
+    if setup not in SETUPS:
+        raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
+    if scenario not in ("enterprise", "isp"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    model = cost_model or default_cost_model()
+    sim = Simulator()
+    topo = StarTopology(sim, network=MANAGED_NET)
+    ias = IntelAttestationService()
+    ca = CertificateAuthority(ias, seed=seed + b"-ca")
+    image = build_endbox_image(ca.public_key, model)
+    ca.whitelist_measurement(image.measure())
+
+    mode = ProtectionMode.ENCRYPT_AND_MAC
+    if scenario == "isp" and isp_no_encryption:
+        mode = ProtectionMode.MAC_ONLY
+
+    # --- server --------------------------------------------------------
+    server_host = class_b_host(sim, "vpn-gw", forwarding=True)
+    topo.attach(server_host)
+    drbg = HmacDrbg(seed)
+    server_key = X25519PrivateKey(drbg.generate(32))
+    server_cert = ca.issue_server_certificate("vpn-server", server_key.public_bytes)
+    server_cls = EndBoxServer if setup.startswith("endbox") else OpenVpnServer
+    server_kwargs = dict(
+        host=server_host,
+        identity_key=server_key,
+        certificate=server_cert,
+        ca_public_key=ca.public_key,
+        tunnel_network=TUNNEL_NET,
+        cost_model=model,
+        protection_mode=mode,
+        ping_interval=ping_interval,
+        charge_cpu=charge_cpu,
+    )
+    if setup == "openvpn_click":
+        server = _ClickAttachedServer(use_case=use_case, **server_kwargs)
+        # two daemons per client (OpenVPN + Click) contend for the cores
+        server.oversubscription = max(0.0, 2 * n_clients - server_host.cpu.effective_cores)
+    else:
+        server = server_cls(**server_kwargs)
+    server.start()
+    topo.route_subnet(TUNNEL_NET, server_host)
+
+    # --- internal hosts --------------------------------------------------
+    internal_hosts = []
+    for index in range(n_internal_hosts):
+        internal = class_b_host(sim, f"internal-{index}")
+        topo.attach(internal)
+        if protect_internal:
+            _install_vpn_only_firewall(internal)
+        internal_hosts.append(internal)
+
+    # --- configuration file server ---------------------------------------
+    publisher = ConfigPublisher(ca)
+    config_server = None
+    config_server_endpoint = None
+    if with_config_server:
+        config_host = class_b_host(sim, "config-server")
+        topo.attach(config_host)
+        config_server = ConfigFileServer(config_host, cost_model=model)
+        config_server.start()
+        config_server_endpoint = (config_host.address, config_server.port)
+
+    deployment = EndBoxDeployment(
+        sim=sim,
+        topo=topo,
+        model=model,
+        setup=setup,
+        use_case=use_case,
+        scenario=scenario,
+        ias=ias,
+        ca=ca,
+        server_host=server_host,
+        server=server,
+        config_server=config_server,
+        publisher=publisher,
+        internal_hosts=internal_hosts,
+    )
+
+    # --- clients ---------------------------------------------------------
+    client_config, rules = _use_case_configs(use_case, server_side=False)
+    for index in range(n_clients):
+        host = class_a_host(sim, f"client-{index}")
+        topo.attach(host, address=f"10.0.1.{index + 1}")
+        deployment.client_hosts.append(host)
+        if setup.startswith("endbox"):
+            enclave_mode = EnclaveMode.HARDWARE if setup == "endbox_sgx" else EnclaveMode.SIMULATION
+            platform = SgxPlatform(ias, name=f"platform-{index}")
+            endbox = EndBoxEnclave.create(image, platform, mode=enclave_mode)
+            storage = SealedStorage(platform.platform_id)
+            provision_client(endbox, platform, ca, storage)
+            client = EndBoxClient(
+                host=host,
+                server_addr=server_host.address,
+                endbox=endbox,
+                ca_public_key=ca.public_key,
+                click_config=client_config,
+                ruleset_text=rules,
+                config_server=config_server_endpoint,
+                single_ecall_optimization=single_ecall_optimization,
+                c2c_flagging=c2c_flagging,
+                server_name="vpn-server",
+                cost_model=model,
+                protection_mode=mode,
+                ping_interval=ping_interval,
+                charge_cpu=charge_cpu,
+                tunnel_routes=[MANAGED_NET],
+            )
+            deployment.enclaves.append(endbox)
+            deployment.storages.append(storage)
+        else:
+            key = X25519PrivateKey(drbg.child(f"client-{index}".encode()).generate(32))
+            cert = ca.issue_server_certificate(f"vanilla-client-{index}", key.public_bytes)
+            client = OpenVpnClient(
+                host=host,
+                server_addr=server_host.address,
+                identity_key=key,
+                certificate=cert,
+                ca_public_key=ca.public_key,
+                server_name="vpn-server",
+                cost_model=model,
+                protection_mode=mode,
+                ping_interval=ping_interval,
+                charge_cpu=charge_cpu,
+                tunnel_routes=[MANAGED_NET],
+            )
+        deployment.clients.append(client)
+
+    if protect_internal:
+        _install_switch_acl(topo, deployment)
+    return deployment
+
+
+def _install_switch_acl(topo: StarTopology, deployment: EndBoxDeployment) -> None:
+    """The managed network's static firewall (§V-A, bypass defence).
+
+    Traffic entering the switch from a *client* port may only reach the
+    VPN gateway or the (public) configuration server — everything else,
+    including spoofed tunnel sources, is dropped in the fabric.
+    """
+    switch = topo.switch
+    client_ports = set()
+    for host in deployment.client_hosts:
+        nic = host.stack.interfaces[0]
+        client_ports.add(id(switch._host_routes[nic.address]))
+    allowed_ports = {id(switch._host_routes[deployment.server_host.stack.interfaces[0].address])}
+    if deployment.config_server is not None:
+        config_nic = deployment.config_server.host.stack.interfaces[0]
+        allowed_ports.add(id(switch._host_routes[config_nic.address]))
+
+    def vpn_only_acl(frame: bytes, ingress, egress) -> bool:
+        if ingress is None or id(ingress) not in client_ports:
+            return True
+        return id(egress) in allowed_ports
+
+    switch.acls.append(vpn_only_acl)
+
+
+def _install_vpn_only_firewall(host: Host) -> None:
+    """The managed network's static firewall: only tunnel traffic enters.
+
+    Internal hosts accept packets whose source is inside the VPN subnet
+    (decrypted by the EndBox server) or the infrastructure subnet used
+    by servers themselves; anything else — e.g. a client trying to
+    bypass its middlebox by sending directly — is dropped (§V-A).
+    """
+    tunnel = IPv4Network(TUNNEL_NET)
+    infra = IPv4Network("10.0.0.0/24")
+
+    def firewall(packet):
+        if packet.src in tunnel or packet.src in infra:
+            return packet
+        return None
+
+    host.stack.ingress_hooks.append(firewall)
+
+
+class _ClickAttachedServer(OpenVpnServer):
+    """OpenVPN+Click: one server-side Click instance per session."""
+
+    def __init__(self, *args, use_case: str = "NOP", **kwargs) -> None:
+        self._use_case = use_case
+        super().__init__(*args, **kwargs)
+        config, rules = _use_case_configs(use_case, server_side=True)
+        self._click_config = config
+        self._ruleset = (
+            parse_rules(rules, variables={"HOME_NET": "10.0.0.0/8", "EXTERNAL_NET": "any"})
+            if rules
+            else []
+        )
+
+    def on_session_created(self, session) -> None:
+        ledger = CostLedger()
+        context = {
+            "ruleset": self._ruleset,
+            "clock": lambda: self.sim.now,
+            "oversubscription": self.oversubscription,
+        }
+        router = Router(self._click_config, self.model, ledger, context)
+        session.middlebox = (router, ledger)
+
+    def session_packet_hook(self, session, packet, inbound: bool):
+        if self.sim.now < getattr(self, "_swap_until", 0.0):
+            # vanilla Click hot-swap in progress: the packet path is down
+            return False, packet, self.model.vpn_server_fixed
+        return super().session_packet_hook(session, packet, inbound)
+
+    def reconfigure(self, new_config: str) -> float:
+        """Hot-swap every per-session Click instance (vanilla mechanism).
+
+        Returns the simulated swap duration; packets arriving within it
+        are dropped (Fig 11 / Table II's vanilla baseline, including the
+        FromDevice/ToDevice file-descriptor setup EndBox avoids).
+        """
+        swap_s = (
+            self.model.click_hotswap_fixed
+            + len(new_config) * self.model.click_parse_per_byte
+            + self.model.click_device_setup
+        )
+        self._click_config = new_config
+        for session in self.sessions_by_peer.values():
+            if session.middlebox is not None:
+                router, ledger = session.middlebox
+                new_router = Router(
+                    new_config, self.model, ledger, dict(router.context)
+                )
+                for name, element in new_router.elements.items():
+                    old = router.elements.get(name)
+                    if old is not None and type(old) is type(element):
+                        element.take_state(old)
+                session.middlebox = (new_router, ledger)
+        self._swap_until = self.sim.now + swap_s
+        return swap_s

@@ -1,0 +1,12 @@
+"""The calibrated per-operation cost model.
+
+Simulated CPU time is the currency of every throughput/latency result in
+the paper's evaluation.  :class:`~repro.costs.model.CostModel` holds the
+per-operation prices (syscalls, copies, AES, HMAC, enclave transitions,
+Click element work); ``repro.costs.calibration`` documents how the
+default values were fitted against the paper's Fig 8/9/10 numbers.
+"""
+
+from repro.costs.model import CostModel, default_cost_model
+
+__all__ = ["CostModel", "default_cost_model"]

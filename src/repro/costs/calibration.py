@@ -1,0 +1,106 @@
+"""Calibration record: how the CostModel constants were fitted.
+
+This module is executable documentation.  ``fit_vanilla_pipeline()``
+re-runs the least-squares fit of the three-parameter per-packet model
+
+    T(s) = fixed + per_byte * s + per_fragment * n(s),
+    n(s) = ceil(s / 8900)           (MTU 9000 minus tunnel overhead)
+
+against the vanilla-OpenVPN column of the paper's Fig 8, and
+``report()`` prints predicted-vs-paper throughput for each packet size.
+The constants baked into :class:`~repro.costs.model.CostModel` are the
+rounded results of these fits plus the decompositions described in the
+model's docstring.
+
+Paper anchor points (Mbps), Fig 8/9/10:
+
+======== ======= ============= =========== ===========
+size     vanilla OpenVPN+Click EndBox SIM  EndBox SGX
+======== ======= ============= =========== ===========
+256 B    152     146           132         92
+1 KiB    642     617           586         401
+1500 B   813     764           720         530
+4 KiB    1541    1288          1514        1044
+16 KiB   2674    1888          2325        1987
+64 KiB   3168    2132          2813        2659
+======== ======= ============= =========== ===========
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+#: (packet size, reported Mbps) for each Fig 8 series.
+FIG8_PAPER_MBPS: Dict[str, List[Tuple[int, float]]] = {
+    "vanilla OpenVPN": [(256, 152), (1024, 642), (1500, 813), (4096, 1541), (16384, 2674), (65536, 3168)],
+    "OpenVPN+Click": [(256, 146), (1024, 617), (1500, 764), (4096, 1288), (16384, 1888), (65536, 2132)],
+    "EndBox SIM": [(256, 132), (1024, 586), (1500, 720), (4096, 1514), (16384, 2325), (65536, 2813)],
+    "EndBox SGX": [(256, 92), (1024, 401), (1500, 530), (4096, 1044), (16384, 1987), (65536, 2659)],
+}
+
+FRAGMENT_PAYLOAD = 8900
+
+
+def per_packet_times(series: str) -> List[Tuple[int, float]]:
+    """Convert a Fig 8 series from Mbps to per-packet seconds."""
+    return [(size, size * 8 / (mbps * 1e6)) for size, mbps in FIG8_PAPER_MBPS[series]]
+
+
+def fit_vanilla_pipeline() -> Tuple[float, float, float]:
+    """Least-squares fit of (fixed, per_byte, per_fragment).
+
+    Implemented with plain normal equations so the package itself keeps
+    zero third-party dependencies (numpy is available for tests).
+    """
+    rows = []
+    targets = []
+    for size, seconds in per_packet_times("vanilla OpenVPN"):
+        fragments = max(1, math.ceil(size / FRAGMENT_PAYLOAD))
+        rows.append((1.0, float(size), float(fragments)))
+        targets.append(seconds)
+    # 3x3 normal equations: (A^T A) x = A^T b
+    ata = [[sum(r[i] * r[j] for r in rows) for j in range(3)] for i in range(3)]
+    atb = [sum(r[i] * t for r, t in zip(rows, targets)) for i in range(3)]
+    return _solve3(ata, atb)
+
+
+def _solve3(matrix: List[List[float]], rhs: List[float]) -> Tuple[float, float, float]:
+    """Gaussian elimination for a 3x3 system."""
+    m = [row[:] + [b] for row, b in zip(matrix, rhs)]
+    for col in range(3):
+        pivot = max(range(col, 3), key=lambda r: abs(m[r][col]))
+        m[col], m[pivot] = m[pivot], m[col]
+        for row in range(3):
+            if row != col and m[col][col]:
+                factor = m[row][col] / m[col][col]
+                m[row] = [a - factor * b for a, b in zip(m[row], m[col])]
+    return tuple(m[i][3] / m[i][i] for i in range(3))  # type: ignore[return-value]
+
+
+def predicted_throughput_mbps(size: int, fixed: float, per_byte: float, per_frag: float) -> float:
+    """Throughput implied by the fitted per-packet model."""
+    fragments = max(1, math.ceil(size / FRAGMENT_PAYLOAD))
+    seconds = fixed + per_byte * size + per_frag * fragments
+    return size * 8 / seconds / 1e6
+
+
+def report() -> str:
+    """Human-readable calibration report (paper vs fitted model)."""
+    fixed, per_byte, per_frag = fit_vanilla_pipeline()
+    lines = [
+        "vanilla OpenVPN per-packet fit:",
+        f"  fixed        = {fixed * 1e6:.2f} us",
+        f"  per byte     = {per_byte * 1e9:.3f} ns/B",
+        f"  per fragment = {per_frag * 1e6:.2f} us",
+        "",
+        f"{'size':>8} {'paper Mbps':>11} {'fit Mbps':>9} {'error':>7}",
+    ]
+    for size, mbps in FIG8_PAPER_MBPS["vanilla OpenVPN"]:
+        fit = predicted_throughput_mbps(size, fixed, per_byte, per_frag)
+        lines.append(f"{size:>8} {mbps:>11.0f} {fit:>9.0f} {100 * (fit - mbps) / mbps:>6.1f}%")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report())

@@ -1,0 +1,147 @@
+"""Per-operation CPU prices, calibrated against the paper's evaluation.
+
+Every throughput/latency number in the paper is ultimately "CPU seconds
+per packet" on some bottleneck thread.  The model prices the primitive
+operations; pipelines (``repro.vpn``, ``repro.core``) sum the prices of
+the operations they actually perform; the simulator turns the sums into
+throughput via CPU-core contention and link capacities.
+
+Calibration (see also ``repro/costs/calibration.py``):
+
+* A least-squares fit of ``T(s) = fixed + per_byte * s + per_frag * n(s)``
+  against the six vanilla-OpenVPN points of Fig 8 gives a client-side
+  per-packet fixed cost of 10.3 us, 2.19 ns/B of per-byte work, and
+  1.48 us per UDP fragment (MTU 9000).  The per-byte total decomposes
+  into tun copy + AES-128-CBC + HMAC + socket copy below.
+* The server-side fixed cost is set so one server process spends
+  ~9.2 us per 1500 B packet and the aggregate VPN server saturates at
+  ~6.5 Gbps on its 5 effective cores (Fig 10a).
+* Attaching Click to OpenVPN on the server costs a fixed 4.2 us of IPC
+  hand-off plus 1.25 ns/B of packet fetching — fitted from the
+  OpenVPN+Click column of Fig 8 (and independently consistent with the
+  5.5 Gbps single-process limit of standalone Click in Fig 10a).
+* The partitioned client (EndBox SIM) adds 1.5 us + 0.30 ns/B (enclave
+  boundary copies); hardware mode adds one ecall per packet (two
+  transitions at 3.15 us each, SCONE-scale) plus 0.07 ns/B of EPC
+  overhead — matching the SIM/SGX columns of Fig 8.
+* In-enclave *element* work runs ``enclave_compute_factor`` (3x) slower
+  than native, reflecting EPC-encrypted LLC misses; this reproduces the
+  IDPS/DDoS gap between Fig 9's two bars.
+
+The model is deliberately transparent: change a constant and every
+dependent experiment moves coherently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CostModel:
+    """Calibrated per-operation simulated CPU costs (seconds / bytes)."""
+
+    # ------------------------------------------------------------------
+    # OS primitives
+    # ------------------------------------------------------------------
+    syscall: float = 1.2e-6
+    memcpy_per_byte: float = 0.15e-9
+    kernel_forward_fixed: float = 1.1e-6  # routing a packet between NICs
+
+    # ------------------------------------------------------------------
+    # crypto (AES-128-CBC + HMAC-SHA, the OpenVPN data channel)
+    # ------------------------------------------------------------------
+    aes_fixed: float = 0.5e-6
+    aes_per_byte: float = 1.25e-9
+    hmac_fixed: float = 0.3e-6
+    hmac_per_byte: float = 0.45e-9
+    asymmetric_op: float = 350e-6  # RSA/DH operation during handshakes
+
+    # ------------------------------------------------------------------
+    # OpenVPN processing
+    # ------------------------------------------------------------------
+    vpn_client_fixed: float = 8.3e-6  # per-packet bookkeeping, client thread
+    vpn_server_fixed: float = 1.35e-6  # per-packet bookkeeping, server process
+    tun_read_syscall: float = 1.2e-6
+    tun_write_syscall: float = 1.2e-6
+    udp_send_per_fragment: float = 1.48e-6
+    udp_recv_per_fragment: float = 1.48e-6
+    udp_copy_per_byte: float = 0.34e-9
+
+    # ------------------------------------------------------------------
+    # SGX (hardware mode only)
+    # ------------------------------------------------------------------
+    enclave_transition: float = 3.15e-6  # one EENTER or EEXIT
+    epc_per_byte: float = 0.07e-9  # memory-encryption tax on bulk data
+    epc_page_fault: float = 12e-6  # per swapped page touched
+    enclave_copy_per_byte: float = 0.15e-9  # boundary copy in/out
+    partition_fixed: float = 1.5e-6  # partitioned-OpenVPN glue (SIM+HW)
+    trusted_time_read: float = 10e-6
+    #: slow-down of memory-bound element work inside the enclave
+    enclave_compute_factor: float = 3.0
+
+    # ------------------------------------------------------------------
+    # Click
+    # ------------------------------------------------------------------
+    click_element_fixed: float = 60e-9  # schedule+hand-off per element
+    click_fetch_per_byte: float = 1.25e-9  # packet fetch into user space
+    click_ipc_attach_fixed: float = 4.2e-6  # OpenVPN<->Click hand-off (server)
+    click_standalone_fixed: float = 0.4e-6  # standalone Click per packet
+    #: extra hand-off cost per runnable process beyond the core count
+    #: (context switching between OpenVPN and Click processes)
+    click_ipc_oversub_cost: float = 0.1e-6
+    #: contention growth of memory-bound element work (per oversubscribed
+    #: process): cost *= 1 + factor * oversubscription
+    memory_bound_contention: float = 0.01
+
+    ipfilter_per_rule: float = 22e-9
+    roundrobin_fixed: float = 60e-9
+    idsmatcher_per_byte: float = 1.05e-9
+    idsmatcher_fixed: float = 70e-9
+    splitter_fixed: float = 0.75e-6
+    tlsdecrypt_per_byte: float = 0.15e-9
+    tlsdecrypt_fixed: float = 3e-6
+
+    # reconfiguration (Table II)
+    click_hotswap_fixed: float = 0.72e-3
+    click_parse_per_byte: float = 0.3e-6
+    click_device_setup: float = 1.66e-3  # FromDevice/ToDevice fd setup
+    config_decrypt_fixed: float = 0.07e-3
+    config_server_service: float = 0.35e-3  # config file server think time
+
+    # VPN fragmentation
+    fragment_payload: int = 8900  # max tunnel payload per UDP datagram
+
+    # application-level constants
+    mgmt_key_forward: float = 20e-6  # custom-OpenSSL key forwarding hop
+    http_server_service: float = 120e-6  # static web server per request
+    http_server_per_byte: float = 18e-9  # endpoint TLS/HTTP stack per byte
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def fragments(self, inner_bytes: int) -> int:
+        """UDP datagrams needed to carry an ``inner_bytes`` packet."""
+        return max(1, math.ceil(inner_bytes / self.fragment_payload))
+
+    def aes(self, num_bytes: int) -> float:
+        """AES-128-CBC cost for num_bytes."""
+        return self.aes_fixed + num_bytes * self.aes_per_byte
+
+    def hmac(self, num_bytes: int) -> float:
+        """HMAC cost for num_bytes."""
+        return self.hmac_fixed + num_bytes * self.hmac_per_byte
+
+    def memcpy(self, num_bytes: int) -> float:
+        """Copy cost for num_bytes."""
+        return num_bytes * self.memcpy_per_byte
+
+    def scaled(self, **overrides) -> "CostModel":
+        """A copy with some constants overridden (for ablations)."""
+        return replace(self, **overrides)
+
+
+def default_cost_model() -> CostModel:
+    """The calibrated model used by all experiments."""
+    return CostModel()

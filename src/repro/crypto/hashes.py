@@ -1,0 +1,25 @@
+"""Hash helpers (SHA-256 backed by :mod:`hashlib`)."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(*chunks: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``chunks``."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.digest()
+
+
+def sha256_hex(*chunks: bytes) -> str:
+    """Hex form of :func:`sha256`."""
+    return sha256(*chunks).hex()
+
+
+def truncated_sha256(data: bytes, length: int) -> bytes:
+    """First ``length`` bytes of SHA-256(data); used for short tags."""
+    if not 1 <= length <= 32:
+        raise ValueError(f"invalid truncation length {length}")
+    return sha256(data)[:length]

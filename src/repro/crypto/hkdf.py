@@ -1,0 +1,41 @@
+"""HKDF (RFC 5869) and the TLS 1.3 ``HKDF-Expand-Label`` construction."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.hmac import hmac_sha256
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    return hmac_sha256(salt or b"\x00" * _HASH_LEN, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key into ``length`` bytes of output."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("requested HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HkdfLabel expansion (RFC 8446 §7.1)."""
+    full_label = b"tls13 " + label.encode("ascii")
+    hkdf_label = (
+        struct.pack(">H", length)
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, hkdf_label, length)

@@ -1,0 +1,22 @@
+"""HMAC-SHA256 helpers with constant-time verification."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+
+def hmac_sha256(key: bytes, *chunks: bytes) -> bytes:
+    """HMAC-SHA256 of the concatenation of ``chunks`` under ``key``."""
+    mac = _hmac.new(key, digestmod=hashlib.sha256)
+    for chunk in chunks:
+        mac.update(chunk)
+    return mac.digest()
+
+
+def hmac_verify(key: bytes, data: bytes, tag: bytes) -> bool:
+    """Verify ``tag`` over ``data``; tolerates truncated tags (>= 10 bytes)."""
+    if len(tag) < 10:
+        return False
+    expected = hmac_sha256(key, data)[: len(tag)]
+    return _hmac.compare_digest(expected, tag)

@@ -1,0 +1,53 @@
+"""Block cipher modes: CBC with PKCS#7 padding (as OpenVPN's data channel)."""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise ValueError("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise ValueError("invalid padding byte")
+    if data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise ValueError("inconsistent padding")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """AES-128-CBC encrypt with PKCS#7 padding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    cipher = AES128(key)
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(padded), 16):
+        block = bytes(a ^ b for a, b in zip(padded[i : i + 16], prev))
+        prev = cipher.encrypt_block(block)
+        out.extend(prev)
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """AES-128-CBC decrypt and strip PKCS#7 padding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    cipher = AES128(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), 16):
+        block = ciphertext[i : i + 16]
+        plain = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))

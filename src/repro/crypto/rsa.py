@@ -1,0 +1,103 @@
+"""Textbook RSA signatures for the certificate authority and SGX quotes.
+
+Key generation uses Miller–Rabin with a deterministic RNG so experiments
+are reproducible.  Signatures are "full-domain hash" style
+(``sig = SHA256(msg) mapped into Z_n, then ** d mod n``), which is
+sufficient for the protocol logic reproduced here (we need unforgeability
+against the simulated adversary, not real-world strength).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.drbg import HmacDrbg
+
+_E = 65537
+
+
+def _is_probable_prime(n: int, drbg: HmacDrbg, rounds: int = 20) -> bool:
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + drbg.randint(n - 4)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, drbg: HmacDrbg) -> int:
+    while True:
+        candidate = drbg.randbits(bits) | (1 << (bits - 1)) | 1
+        if candidate % _E == 1:
+            continue
+        if _is_probable_prime(candidate, drbg):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e) with signature verification."""
+
+    n: int
+    e: int = _E
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Verify the signature; True when authentic."""
+        expected = int.from_bytes(hashlib.sha256(message).digest(), "big") % self.n
+        return pow(signature, self.e, self.n) == expected
+
+    def encrypt_int(self, value: int) -> int:
+        """Raw RSA encryption of an integer < n (used for key wrapping)."""
+        if not 0 <= value < self.n:
+            raise ValueError("plaintext integer out of range")
+        return pow(value, self.e, self.n)
+
+    def fingerprint(self) -> str:
+        """Short hex identifier of the public key."""
+        return hashlib.sha256(self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")).hexdigest()[:16]
+
+
+class RsaKeyPair:
+    """RSA key pair; 1024-bit by default (fast to generate, fine for a sim)."""
+
+    def __init__(self, bits: int = 1024, seed: Optional[bytes] = None) -> None:
+        drbg = HmacDrbg(seed or b"rsa-default-seed")
+        half = bits // 2
+        p = _generate_prime(half, drbg)
+        q = _generate_prime(half, drbg)
+        while q == p:
+            q = _generate_prime(half, drbg)
+        self.n = p * q
+        self.e = _E
+        phi = (p - 1) * (q - 1)
+        self.d = pow(self.e, -1, phi)
+        self.public_key = RsaPublicKey(self.n, self.e)
+
+    def sign(self, message: bytes) -> int:
+        """Sign SHA-256(message); returns the signature integer."""
+        digest = int.from_bytes(hashlib.sha256(message).digest(), "big") % self.n
+        return pow(digest, self.d, self.n)
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        """Raw RSA decryption (used for key unwrapping)."""
+        if not 0 <= ciphertext < self.n:
+            raise ValueError("ciphertext integer out of range")
+        return pow(ciphertext, self.d, self.n)

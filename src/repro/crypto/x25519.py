@@ -1,0 +1,85 @@
+"""X25519 Diffie–Hellman (RFC 7748), implemented from the specification.
+
+Used by the TLS library and the VPN control channel for key agreement.
+Validated against the RFC 7748 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+_P = 2**255 - 19
+_A24 = 121665
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != 32:
+        raise ValueError("u-coordinate must be 32 bytes")
+    value = int.from_bytes(u, "little")
+    return value & ((1 << 255) - 1)  # mask high bit per RFC 7748
+
+
+def _decode_scalar(k: bytes) -> int:
+    if len(k) != 32:
+        raise ValueError("scalar must be 32 bytes")
+    b = bytearray(k)
+    b[0] &= 248
+    b[31] &= 127
+    b[31] |= 64
+    return int.from_bytes(bytes(b), "little")
+
+
+def _encode_u(value: int) -> bytes:
+    return (value % _P).to_bytes(32, "little")
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """Montgomery ladder scalar multiplication on Curve25519."""
+    k = _decode_scalar(scalar)
+    x1 = _decode_u(u)
+    x2, z2 = 1, 0
+    x3, z3 = x1, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = ((da + cb) ** 2) % _P
+        z3 = (x1 * (da - cb) ** 2) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return _encode_u((x2 * pow(z2, _P - 2, _P)) % _P)
+
+
+_BASE_POINT = (9).to_bytes(32, "little")
+
+
+class X25519PrivateKey:
+    """An X25519 private key with public-key derivation and DH exchange."""
+
+    def __init__(self, private_bytes: bytes) -> None:
+        if len(private_bytes) != 32:
+            raise ValueError("private key must be 32 bytes")
+        self._private = private_bytes
+        self.public_bytes = x25519(private_bytes, _BASE_POINT)
+
+    def exchange(self, peer_public: bytes) -> bytes:
+        """Compute the shared secret with a peer public key."""
+        shared = x25519(self._private, peer_public)
+        if shared == bytes(32):
+            raise ValueError("degenerate shared secret (low-order point)")
+        return shared

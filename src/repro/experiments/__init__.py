@@ -1,0 +1,20 @@
+"""Experiment harness: one module per table/figure of the paper's §V.
+
+Every module exposes a ``run_*`` function returning a result object with
+``to_text()`` (the table/series the paper reports, alongside the paper's
+own numbers) and a module-level ``PAPER`` record of the published
+values.  ``repro.experiments.runner`` is the CLI that runs everything
+and writes EXPERIMENTS.md-ready output.
+
+| Module | Reproduces |
+|---|---|
+| ``fig6_pageload`` | Fig 6 — CDF of HTTP page-load times |
+| ``fig7_redirection`` | Fig 7 — ping RTT by redirection method |
+| ``table1_https_latency`` | Table I — HTTPS GET latency |
+| ``fig8_packet_size`` | Fig 8 — throughput vs packet size |
+| ``fig9_functions`` | Fig 9 — throughput per middlebox function |
+| ``fig10_scalability`` | Fig 10 — server throughput/CPU vs #clients |
+| ``table2_reconfig`` | Table II — reconfiguration phases |
+| ``fig11_reconfig_latency`` | Fig 11 — ping latency across an update |
+| ``optimizations`` | §V-G — the three optimisation ablations |
+"""

@@ -1,0 +1,80 @@
+"""Ablation: EPC pressure vs throughput (why EndBox keeps its TCB small).
+
+§II-C: "The EPC size in the current version of SGX is limited to 128 MB
+per machine.  It is possible to create larger enclaves by swapping EPC
+pages to regular memory, but this results in a substantial performance
+penalty."  EndBox's enclave (TaLoS + Click + glue) fits comfortably; a
+middlebox that, say, kept large caches or ML models in enclave memory
+would not.
+
+This ablation sweeps the enclave heap size across the 128 MiB boundary
+and measures single-client NOP throughput at 1500 B.  Below the limit
+nothing changes; beyond it, every packet's touched pages fault with the
+oversubscription probability, and throughput collapses — the quantified
+version of the paper's design constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.click import configs as click_configs
+from repro.core.enclave_app import EndBoxEnclave
+from repro.core.scenarios import build_deployment
+from repro.experiments.common import format_table, measure_max_throughput
+from repro.sgx.epc import EPC_SIZE_BYTES
+
+HEAP_SIZES_MB = (8, 64, 120, 192, 256, 512)
+
+
+@dataclass
+class EpcAblationResult:
+    name: str = "Ablation: enclave heap size vs throughput (EPC = 128 MiB)"
+    throughput_mbps: Dict[int, float] = field(default_factory=dict)
+    paging_fraction: Dict[int, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the measured-vs-paper tables as text."""
+        rows = [
+            [
+                f"{mb} MiB",
+                f"{self.paging_fraction[mb] * 100:.0f}%",
+                f"{self.throughput_mbps[mb]:.0f}",
+            ]
+            for mb in sorted(self.throughput_mbps)
+        ]
+        return format_table(
+            ["enclave heap", "pages swapped", "throughput [Mbps]"], rows, title=self.name
+        )
+
+
+def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-epc") -> EpcAblationResult:
+    """Run the experiment; returns the result object."""
+    result = EpcAblationResult()
+    for heap_mb in heap_sizes_mb:
+        world = build_deployment(
+            n_clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, with_config_server=False
+        )
+        # rebuild the client's enclave with the requested heap size
+        client = world.clients[0]
+        endbox = client.endbox
+        endbox.enclave.epc.free(endbox.enclave.enclave_id)
+        endbox.enclave.epc.allocate(endbox.enclave.enclave_id, heap_mb << 20)
+        world.connect_all()
+        offered = 900e6
+        measured = measure_max_throughput(world, 1500, offered, duration=0.06)
+        result.throughput_mbps[heap_mb] = measured / 1e6
+        result.paging_fraction[heap_mb] = endbox.enclave.epc.paging_fraction()
+    return result
+
+
+def epc_limit_mb() -> int:
+    """The modelled EPC size in MiB."""
+    return EPC_SIZE_BYTES >> 20
+
+
+if __name__ == "__main__":  # pragma: no cover
+    outcome = run()
+    print(outcome.to_text())
+    print(f"\n(EPC limit: {epc_limit_mb()} MiB)")

@@ -1,0 +1,136 @@
+"""Fig 11: impact of a configuration update on ping latency.
+
+A client sends ICMP pings at 10 Hz while the firewall configuration is
+hot-swapped at t = 0 (time axes aligned on the reconfiguration, as in
+the paper).  Both EndBox and OpenVPN+Click lose exactly the one ping
+that is in flight while the Click graph is being rebuilt; latency before
+and after is unaffected — distributed reconfiguration costs no more
+than local reconfiguration (§V-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.click import configs as click_configs
+from repro.core.scenarios import build_deployment
+from repro.experiments.common import format_table
+
+PING_INTERVAL = 0.1  # 10 requests per second, as in the paper
+WINDOW = 2.0  # observe +-2 s around the reconfiguration
+
+PAPER = {
+    "EndBox": {"lost_pings": 1},
+    "OpenVPN+Click": {"lost_pings": 1},
+}
+
+
+@dataclass
+class Fig11Result:
+    name: str = "Fig 11: ping latency across a configuration update"
+    #: per system: list of (time relative to reconfig, RTT seconds or None=lost)
+    series: Dict[str, List[Tuple[float, Optional[float]]]] = field(default_factory=dict)
+
+    def lost(self, system: str) -> int:
+        """Number of lost pings in the system's series."""
+        return sum(1 for _t, rtt in self.series.get(system, []) if rtt is None)
+
+    def to_text(self) -> str:
+        """Render the measured-vs-paper tables as text."""
+        rows = []
+        for system, points in self.series.items():
+            rtts = [rtt for _t, rtt in points if rtt is not None]
+            rows.append(
+                [
+                    system,
+                    PAPER[system]["lost_pings"],
+                    self.lost(system),
+                    f"{min(rtts) * 1e3:.2f}",
+                    f"{max(rtts) * 1e3:.2f}",
+                ]
+            )
+        return format_table(
+            ["system", "paper lost", "measured lost", "min RTT [ms]", "max RTT [ms]"],
+            rows,
+            title=self.name,
+        )
+
+
+def _ping_series(world, client_host, target, reconfig_time: float):
+    """Ping at 10 Hz around ``reconfig_time``; returns [(t_rel, rtt|None)]."""
+    results: List[Tuple[float, Optional[float]]] = []
+
+    def pinger():
+        sequence = 0
+        start = reconfig_time - WINDOW
+        yield world.sim.timeout(max(0.0, start - world.sim.now))
+        while world.sim.now <= reconfig_time + WINDOW:
+            sent_at = world.sim.now
+            rtt = yield world.sim.process(
+                client_host.stack.ping(target, identifier=11, sequence=sequence, timeout=0.09)
+            )
+            results.append((sent_at - reconfig_time, rtt))
+            sequence += 1
+            next_at = sent_at + PING_INTERVAL
+            if next_at > world.sim.now:
+                yield world.sim.timeout(next_at - world.sim.now)
+
+    proc = world.sim.process(pinger())
+    world.sim.run(until=reconfig_time + WINDOW + 1.0)
+    if not proc.triggered:
+        raise RuntimeError("ping series did not finish")
+    return results
+
+
+def _run_endbox(seed: bytes) -> List[Tuple[float, Optional[float]]]:
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="FW", seed=seed, with_config_server=False
+    )
+    world.connect_all()
+    client = world.clients[0]
+    bundle = world.publisher.build_bundle(2, click_configs.firewall_config(), encrypt=True)
+    # align the hot swap with an in-flight ping (t=0 of the figure)
+    reconfig_time = world.sim.now + 5.0
+    reconfig_time = round(reconfig_time / PING_INTERVAL) * PING_INTERVAL
+
+    def apply_at():
+        yield world.sim.timeout(reconfig_time - 20e-6 - world.sim.now)
+        yield world.sim.process(client.apply_config_now(bundle.blob))
+
+    world.sim.process(apply_at())
+    return _ping_series(world, client.host, world.internal.address, reconfig_time)
+
+
+def _run_openvpn_click(seed: bytes) -> List[Tuple[float, Optional[float]]]:
+    world = build_deployment(
+        n_clients=1, setup="openvpn_click", use_case="FW", seed=seed, with_config_server=False
+    )
+    world.connect_all()
+    client = world.clients[0]
+    reconfig_time = world.sim.now + 5.0
+    reconfig_time = round(reconfig_time / PING_INTERVAL) * PING_INTERVAL
+
+    def apply_at():
+        # server-side swap: trigger just before the ping reaches the server
+        yield world.sim.timeout(reconfig_time - 20e-6 - world.sim.now)
+        world.server.reconfigure(click_configs.firewall_config())
+
+    world.sim.process(apply_at())
+    return _ping_series(world, client.host, world.internal.address, reconfig_time)
+
+
+def run(seed: bytes = b"fig11") -> Fig11Result:
+    """Run the experiment; returns the result object."""
+    result = Fig11Result()
+    result.series["EndBox"] = _run_endbox(seed)
+    result.series["OpenVPN+Click"] = _run_openvpn_click(seed)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    outcome = run()
+    print(outcome.to_text())
+    for system, points in outcome.series.items():
+        lost_at = [f"{t:+.2f}s" for t, rtt in points if rtt is None]
+        print(f"{system}: pings lost at {lost_at}")

@@ -1,0 +1,167 @@
+"""Fig 6: CDF of HTTP page-load times, with and without EndBox.
+
+A client loads a sample of the (synthetic) Alexa-top-1000 page
+population from "internet" web servers behind WAN links of varying
+latency and access bandwidth — once directly, once through an EndBox
+tunnel (NOP configuration, as in the paper's latency experiments).
+
+The paper's claim is *not* a particular absolute distribution but that
+the two CDFs are nearly indistinguishable: page-load time is dominated
+by WAN latency and transfer time, and EndBox adds microseconds per
+packet.  The result reports load-time percentiles for both runs plus
+the largest relative gap between the curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.scenarios import build_deployment
+from repro.experiments.common import format_table
+from repro.http.alexa import alexa_top_pages
+from repro.http.client import HttpClient
+from repro.http.server import HttpServer
+from repro.netsim.host import class_b_host
+from repro.sim import SeededRng
+
+PERCENTILES = (10, 25, 50, 75, 90, 99)
+N_WEBSITE_HOSTS = 12
+
+#: Fig 6 is a curve; the paper quotes no table.  These reference
+#: percentiles are read off the published CDF (seconds).
+PAPER_DIRECT_PERCENTILES = {10: 0.9, 25: 1.5, 50: 2.8, 75: 5.0, 90: 8.5, 99: 18.0}
+
+
+@dataclass
+class Fig6Result:
+    name: str = "Fig 6: page-load time CDF (EndBox vs direct)"
+    percentiles_direct: Dict[int, float] = field(default_factory=dict)
+    percentiles_endbox: Dict[int, float] = field(default_factory=dict)
+    samples_direct: List[float] = field(default_factory=list)
+    samples_endbox: List[float] = field(default_factory=list)
+
+    @property
+    def max_gap(self) -> float:
+        """Largest relative difference between the two curves."""
+        gaps = []
+        for p in PERCENTILES:
+            direct = self.percentiles_direct.get(p)
+            endbox = self.percentiles_endbox.get(p)
+            if direct and endbox:
+                gaps.append(abs(endbox - direct) / direct)
+        return max(gaps) if gaps else float("nan")
+
+    def to_text(self) -> str:
+        """Render the measured-vs-paper tables as text."""
+        rows = []
+        for p in PERCENTILES:
+            direct = self.percentiles_direct.get(p, float("nan"))
+            endbox = self.percentiles_endbox.get(p, float("nan"))
+            rows.append(
+                [
+                    f"p{p}",
+                    f"{PAPER_DIRECT_PERCENTILES.get(p, float('nan')):.1f}",
+                    f"{direct:.2f}",
+                    f"{endbox:.2f}",
+                    f"{100 * (endbox - direct) / direct:+.1f}%" if direct else "n/a",
+                ]
+            )
+        table = format_table(
+            ["percentile", "paper direct [s]", "direct [s]", "EndBox [s]", "EndBox vs direct"],
+            rows,
+            title=self.name,
+        )
+        return table + f"\n\nmax CDF gap EndBox vs direct: {self.max_gap * 100:.1f}%"
+
+
+def _percentile(samples: Sequence[float], p: int) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    index = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _build_internet(world, pages, rng: SeededRng):
+    """Attach website hosts behind heterogeneous WAN links."""
+    hosts = []
+    for index in range(N_WEBSITE_HOSTS):
+        host_rng = rng.child(f"site-host-{index}")
+        host = class_b_host(world.sim, f"website-{index}")
+        world.topo.attach(
+            host,
+            latency_s=host_rng.uniform(8e-3, 55e-3),
+            bandwidth_bps=host_rng.uniform(12e6, 60e6),
+        )
+        server = HttpServer(host, port=80, cost_model=world.model)
+        server.start()
+        hosts.append((host, server))
+    for page in pages:
+        host, server = hosts[page.rank % N_WEBSITE_HOSTS]
+        for path, size in zip(page.paths(), page.object_sizes):
+            server.add_resource(path, bytes(32 + (i % 95) for i in range(min(size, 1 << 22))))
+        page.host_address = host.address  # annotate for the loader
+    return hosts
+
+
+def _load_all(world, client_host, pages, deadline_per_page: float = 40.0) -> List[float]:
+    http = HttpClient(client_host)
+    times: List[float] = []
+
+    def loader():
+        for page in pages:
+            started = world.sim.now
+            try:
+                think = 0.02 + 0.05 * (page.rank % 7) / 6  # 20-70 ms/object
+                elapsed = yield world.sim.process(
+                    http.load_page(
+                        page.host_address, page.paths(), concurrency=6, think_time_s=think
+                    )
+                )
+                times.append(elapsed)
+            except Exception:
+                times.append(world.sim.now - started)  # count partial loads
+
+    proc = world.sim.process(loader())
+    world.sim.run(until=world.sim.now + deadline_per_page * len(pages))
+    if not proc.triggered:
+        raise RuntimeError("page loads did not finish within the simulation budget")
+    return times
+
+
+def run(n_pages: int = 60, seed: int = 2018) -> Fig6Result:
+    """Run the experiment; returns the result object."""
+    rng = SeededRng(seed, "fig6")
+    population = alexa_top_pages(1000, seed=seed)
+    step = max(1, len(population) // n_pages)
+    pages = population[::step][:n_pages]
+    result = Fig6Result()
+
+    for mode in ("direct", "endbox"):
+        world = build_deployment(
+            n_clients=1,
+            setup="endbox_sgx",
+            use_case="NOP",
+            with_config_server=False,
+            protect_internal=False,
+            seed=b"fig6-" + mode.encode(),
+        )
+        _build_internet(world, pages, rng.child("internet"))
+        if mode == "endbox":
+            world.connect_all()
+            client_host = world.clients[0].host
+        else:
+            client_host = world.client_hosts[0]
+        samples = _load_all(world, client_host, pages)
+        if mode == "direct":
+            result.samples_direct = samples
+            result.percentiles_direct = {p: _percentile(samples, p) for p in PERCENTILES}
+        else:
+            result.samples_endbox = samples
+            result.percentiles_endbox = {p: _percentile(samples, p) for p in PERCENTILES}
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,124 @@
+"""Fig 7: average ping RTT for different redirection methods.
+
+A client pings a fixed external location (base RTT ≈ 10.8 ms) while its
+traffic is redirected through (i) nothing, (ii) a local OpenVPN+Click
+middlebox, (iii) EndBox, (iv/v) OpenVPN+Click middleboxes on AWS EC2 in
+eu-central and us-east.  The point of the figure: local/client-side
+redirection is nearly free (paper: +0.5/+0.7 ms) while cloud offloading
+costs +61 % to +1773 % RTT.
+
+The cloud middleboxes are modelled as VPN servers behind WAN links whose
+one-way latencies are set from the paper's measured RTT deltas
+(eu-central +6.6 ms, us-east +191.5 ms over four extra WAN traversals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.core.scenarios import build_deployment
+from repro.experiments.common import format_table, relative_error
+from repro.netsim.host import class_a_host
+
+#: one-way LAN->target latency giving the paper's 10.8 ms base RTT
+TARGET_ONE_WAY_S = 5.37e-3
+#: AWS attachment latencies fitted from the paper's deltas
+AWS_ONE_WAY_S = {"eu-central": 1.65e-3, "us-east": 47.9e-3}
+
+PAPER_RTT_MS: Dict[str, float] = {
+    "no redirection": 10.8,
+    "local redirection": 11.3,
+    "EndBox SGX": 11.5,
+    "AWS eu-central": 17.4,
+    "AWS us-east": 202.3,
+}
+
+METHODS = tuple(PAPER_RTT_MS)
+
+
+@dataclass
+class Fig7Result:
+    name: str = "Fig 7: average ping RTT by redirection method"
+    paper: Dict[str, float] = field(default_factory=lambda: dict(PAPER_RTT_MS))
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the measured-vs-paper tables as text."""
+        rows = []
+        for method, rtt in self.measured.items():
+            paper_value = self.paper.get(method)
+            rows.append(
+                [
+                    method,
+                    f"{paper_value:.1f}" if paper_value else "-",
+                    f"{rtt:.1f}",
+                    relative_error(rtt, paper_value) if paper_value else "n/a",
+                ]
+            )
+        return format_table(
+            ["method", "paper [ms]", "measured [ms]", "error"], rows, title=self.name
+        )
+
+
+def _average_ping(sim, stack, target_addr, count: int = 10) -> float:
+    rtts = []
+
+    def pinger():
+        for sequence in range(count):
+            rtt = yield sim.process(
+                stack.ping(target_addr, identifier=77, sequence=sequence, timeout=2.0)
+            )
+            if rtt is not None:
+                rtts.append(rtt)
+            yield sim.timeout(0.05)
+
+    sim.process(pinger())
+    sim.run(until=sim.now + count * 3.0)
+    if not rtts:
+        raise RuntimeError("all pings lost")
+    return sum(rtts) / len(rtts)
+
+
+def _measure(method: str, seed: bytes) -> float:
+    if method == "no redirection":
+        world = build_deployment(
+            n_clients=1, setup="vanilla", use_case="NOP", with_config_server=False,
+            protect_internal=False, seed=seed,
+        )
+        target = class_a_host(world.sim, "external-target")
+        world.topo.attach_wan(target, one_way_latency_s=TARGET_ONE_WAY_S)
+        # the client pings directly; the VPN is never started
+        client_host = world.client_hosts[0]
+        return _average_ping(world.sim, client_host.stack, target.address)
+
+    setup = {"local redirection": "openvpn_click", "EndBox SGX": "endbox_sgx"}.get(
+        method, "openvpn_click"
+    )
+    world = build_deployment(
+        n_clients=1, setup=setup, use_case="NOP", with_config_server=False,
+        protect_internal=False, seed=seed,
+    )
+    target = class_a_host(world.sim, "external-target")
+    world.topo.attach_wan(target, one_way_latency_s=TARGET_ONE_WAY_S)
+    if method.startswith("AWS"):
+        # move the middlebox into the cloud: re-home the VPN server's
+        # link behind the region's WAN latency
+        region = method.split(" ", 1)[1]
+        link = world.server_host.stack.interfaces[0].link
+        link.latency_s = AWS_ONE_WAY_S[region]
+    world.connect_all()
+    client = world.clients[0]
+    return _average_ping(world.sim, client.host.stack, target.address)
+
+
+def run(methods: Sequence[str] = METHODS, seed: bytes = b"fig7") -> Fig7Result:
+    """Run the experiment; returns the result object."""
+    result = Fig7Result()
+    for method in methods:
+        result.measured[method] = _measure(method, seed) * 1e3
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,60 @@
+"""Fig 9: throughput of the five middlebox functions at 1500 B packets.
+
+Compares OpenVPN+Click (server-side middlebox) against EndBox SGX
+(client-side, in-enclave middlebox) for NOP / LB / FW / IDPS / DDoS.
+The paper's reading: Click configurations barely dent the server-side
+baseline (<= 13 %), while EndBox pays ~30 % for lightweight functions
+and ~39 % for the computation-heavy IDPS/DDoS — because the pattern
+matching runs inside the enclave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.scenarios import build_deployment
+from repro.experiments.common import SETUP_LABELS, SeriesResult, measure_max_throughput
+
+USE_CASES = ("NOP", "LB", "FW", "IDPS", "DDoS")
+SETUPS = ("openvpn_click", "endbox_sgx")
+PACKET_BYTES = 1500
+
+PAPER: Dict[str, Dict[str, float]] = {
+    SETUP_LABELS["openvpn_click"]: {"NOP": 764, "LB": 761, "FW": 747, "IDPS": 692, "DDoS": 662},
+    SETUP_LABELS["endbox_sgx"]: {"NOP": 530, "LB": 496, "FW": 527, "IDPS": 422, "DDoS": 414},
+}
+
+
+def run(
+    use_cases: Sequence[str] = USE_CASES,
+    setups: Sequence[str] = SETUPS,
+    duration: float = 0.08,
+    seed: bytes = b"fig9",
+) -> SeriesResult:
+    """Run the experiment; returns the result object."""
+    result = SeriesResult(
+        name="Fig 9: middlebox-function throughput at 1500 B",
+        x_label="use case",
+        unit="Mbps",
+        paper=PAPER,
+    )
+    for setup in setups:
+        label = SETUP_LABELS[setup]
+        result.measured[label] = {}
+        for use_case in use_cases:
+            world = build_deployment(
+                n_clients=1,
+                setup=setup,
+                use_case=use_case,
+                seed=seed + setup.encode(),
+                with_config_server=False,
+            )
+            world.connect_all()
+            offered = PAPER[label][use_case] * 1e6 * 1.7
+            measured = measure_max_throughput(world, PACKET_BYTES, offered, duration=duration)
+            result.measured[label][use_case] = measured / 1e6
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

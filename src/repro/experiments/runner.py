@@ -1,0 +1,156 @@
+"""CLI: run any or all experiments and emit the paper-vs-measured report.
+
+Usage::
+
+    endbox-experiments --list
+    endbox-experiments fig8 table2
+    endbox-experiments --all --quick -o results.md
+
+``--quick`` shrinks sweeps (fewer sizes/client counts, shorter windows)
+so the full suite finishes in a couple of minutes; the default settings
+match what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+
+def _run_fig6(quick: bool) -> str:
+    from repro.experiments import fig6_pageload
+
+    return fig6_pageload.run(n_pages=20 if quick else 60).to_text()
+
+
+def _run_fig7(quick: bool) -> str:
+    from repro.experiments import fig7_redirection
+
+    return fig7_redirection.run().to_text()
+
+
+def _run_table1(quick: bool) -> str:
+    from repro.experiments import table1_https_latency
+
+    return table1_https_latency.run(repeats=3 if quick else 5).to_text()
+
+
+def _run_fig8(quick: bool) -> str:
+    from repro.experiments import fig8_packet_size
+
+    sizes = (256, 1500, 16384) if quick else fig8_packet_size.SIZES
+    return fig8_packet_size.run(sizes=sizes, duration=0.04 if quick else 0.08).to_text()
+
+
+def _run_fig9(quick: bool) -> str:
+    from repro.experiments import fig9_functions
+
+    return fig9_functions.run(duration=0.04 if quick else 0.08).to_text()
+
+
+def _run_fig10(quick: bool) -> str:
+    from repro.experiments import fig10_scalability
+
+    counts = (1, 20, 40, 60) if quick else fig10_scalability.CLIENT_COUNTS
+    parts = [fig10_scalability.run_fig10a(counts=counts).to_text()]
+    b_counts = (30, 60) if quick else (1, 10, 20, 30, 40, 50, 60)
+    result_b = fig10_scalability.run_fig10b(counts=b_counts)
+    parts.append(result_b.to_text())
+    lines = []
+    for use_case in ("LB", "FW", "IDPS", "DDoS"):
+        ratio = fig10_scalability.speedup_at(result_b, 60, use_case)
+        if ratio:
+            lines.append(f"EndBox speedup at 60 clients, {use_case}: {ratio:.1f}x")
+    parts.append("\n".join(lines) + "\n(paper: 2.6x across use cases, 3.8x for IDPS/DDoS)")
+    return "\n\n".join(parts)
+
+
+def _run_table2(quick: bool) -> str:
+    from repro.experiments import table2_reconfig
+
+    return table2_reconfig.run().to_text()
+
+
+def _run_fig11(quick: bool) -> str:
+    from repro.experiments import fig11_reconfig_latency
+
+    return fig11_reconfig_latency.run().to_text()
+
+
+def _run_optimizations(quick: bool) -> str:
+    from repro.experiments import optimizations
+
+    return optimizations.run().to_text()
+
+
+def _run_ablation_consensus(quick: bool) -> str:
+    from repro.experiments import ablation_consensus
+
+    sizes = (5, 20) if quick else ablation_consensus.FLEET_SIZES
+    return ablation_consensus.run(fleet_sizes=sizes).to_text()
+
+
+def _run_ablation_epc(quick: bool) -> str:
+    from repro.experiments import ablation_epc
+
+    sizes = (8, 120, 256) if quick else ablation_epc.HEAP_SIZES_MB
+    return ablation_epc.run(heap_sizes_mb=sizes).to_text()
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "table1": _run_table1,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "table2": _run_table2,
+    "fig11": _run_fig11,
+    "optimizations": _run_optimizations,
+    "ablation-consensus": _run_ablation_consensus,
+    "ablation-epc": _run_ablation_epc,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="endbox-experiments",
+        description="Reproduce the EndBox (DSN'18) evaluation tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment names (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps, faster runs")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument("-o", "--output", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.all or not args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} (see --list)")
+
+    sections = []
+    for name in names:
+        started = time.time()
+        print(f"== running {name} ...", file=sys.stderr, flush=True)
+        text = EXPERIMENTS[name](args.quick)
+        elapsed = time.time() - started
+        print(f"== {name} done in {elapsed:.1f}s", file=sys.stderr, flush=True)
+        sections.append(f"## {name}\n\n```\n{text}\n```\n")
+    report = "\n".join(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

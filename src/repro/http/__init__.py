@@ -1,0 +1,20 @@
+"""HTTP/HTTPS over the simulated network.
+
+Provides the application-layer workloads of the evaluation: a static web
+server and client (Fig 6 page loads, Table I HTTPS GETs) and the
+Alexa-style page population.  The same server also backs EndBox's
+configuration file distribution (Fig 5).
+"""
+
+from repro.http.client import HttpClient, HttpError, HttpResponse
+from repro.http.server import HttpServer
+from repro.http.alexa import AlexaPage, alexa_top_pages
+
+__all__ = [
+    "AlexaPage",
+    "HttpClient",
+    "HttpError",
+    "HttpResponse",
+    "HttpServer",
+    "alexa_top_pages",
+]

@@ -1,0 +1,56 @@
+"""Discrete-event network simulator.
+
+This package replaces the paper's physical testbed (two machine classes on
+a 10 Gbps switch, MTU 9000) with a simulated one:
+
+* :mod:`~repro.netsim.addresses` — IPv4 addresses and subnets,
+* :mod:`~repro.netsim.packet` — binary-faithful IPv4/UDP/TCP/ICMP packets,
+* :mod:`~repro.netsim.link` — bandwidth/latency links with serialisation,
+* :mod:`~repro.netsim.switch` — a store-and-forward switch,
+* :mod:`~repro.netsim.host` — hosts with CPU cores and a protocol stack,
+* :mod:`~repro.netsim.stack` — routing, demux, sockets, ICMP echo,
+* :mod:`~repro.netsim.tun` — TUN devices for the VPN clients/servers,
+* :mod:`~repro.netsim.tcp` — a small but real TCP (handshake, cumulative
+  ACKs, flow control, retransmission), enough to carry HTTP/TLS.
+
+Packets are real ``bytes`` end to end: what the VPN encrypts is the actual
+serialised packet, and what the IDPS scans is the actual payload.
+"""
+
+from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.link import Link
+from repro.netsim.host import Host
+from repro.netsim.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    IcmpMessage,
+    IPv4Packet,
+    TcpSegment,
+    UdpDatagram,
+    parse_ipv4,
+)
+from repro.netsim.switch import Switch
+from repro.netsim.trace import PacketTracer, TraceEntry
+from repro.netsim.topology import StarTopology
+from repro.netsim.tun import TunDevice
+
+__all__ = [
+    "Host",
+    "IPv4Address",
+    "IPv4Network",
+    "IPv4Packet",
+    "IcmpMessage",
+    "Link",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PacketTracer",
+    "StarTopology",
+    "Switch",
+    "TcpSegment",
+    "TraceEntry",
+    "TunDevice",
+    "UdpDatagram",
+    "parse_ipv4",
+]

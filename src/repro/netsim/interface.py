@@ -1,0 +1,59 @@
+"""Network interfaces: the glue between devices and links.
+
+An :class:`Interface` belongs to a *device* (host or switch), may carry an
+IP address, and is attached to at most one :class:`~repro.netsim.link.Link`.
+Delivery is a plain method call into the owning device, which keeps the
+per-packet event count low.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.netsim.addresses import IPv4Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.link import Link
+
+
+class Interface:
+    """A device port, optionally addressed."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Optional[IPv4Address] = None,
+        on_receive: Optional[Callable[[bytes, "Interface"], None]] = None,
+    ) -> None:
+        self.name = name
+        self.address = IPv4Address(address) if address is not None else None
+        self.link: Optional["Link"] = None
+        self._on_receive = on_receive
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.tx_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Interface {self.name} addr={self.address}>"
+
+    def set_receiver(self, on_receive: Callable[[bytes, "Interface"], None]) -> None:
+        """Install the frame-delivery callback."""
+        self._on_receive = on_receive
+
+    def send(self, frame: bytes) -> bool:
+        """Transmit raw frame bytes out of this interface."""
+        if self.link is None:
+            raise RuntimeError(f"{self.name}: interface has no link")
+        ok = self.link.transmit(self, frame)
+        if ok:
+            self.tx_packets += 1
+            self.tx_bytes += len(frame)
+        return ok
+
+    def deliver(self, frame: bytes) -> None:
+        """Called by the link when a frame arrives."""
+        self.rx_packets += 1
+        self.rx_bytes += len(frame)
+        if self._on_receive is not None:
+            self._on_receive(frame, self)

@@ -1,0 +1,123 @@
+"""Full-duplex point-to-point links with bandwidth, latency and MTU.
+
+Each direction serialises one frame at a time (transmission delay =
+frame bits / bandwidth) and then applies propagation latency.  Frames are
+queued FIFO per direction with a bounded queue; overflow drops the frame,
+which is how the simulator expresses congestion loss.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import FifoStore, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.interface import Interface
+
+def _loss_rng_for(name: str):
+    """Deterministic per-link loss RNG (stable across interpreter runs,
+    unlike the built-in randomized str hash)."""
+    import zlib
+
+    from repro.sim import SeededRng
+
+    return SeededRng(zlib.crc32(name.encode()) & 0xFFFF, f"loss:{name}")
+
+
+#: Ethernet framing overhead added to every IP packet on the wire
+#: (MACs + EtherType + FCS + preamble/IPG, rounded to the usual 38 bytes
+#: that 10 GbE accounting uses; we use the L2 part only).
+ETHERNET_OVERHEAD = 18
+
+DEFAULT_MTU = 9000  # the paper configures jumbo frames (MTU 9000)
+
+
+class Link:
+    """A duplex link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10e9,
+        latency_s: float = 20e-6,
+        mtu: int = DEFAULT_MTU,
+        queue_frames: int = 512,
+        loss_rate: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.mtu = mtu
+        self.name = name
+        self.queue_frames = queue_frames
+        #: random frame-loss probability (failure injection); uses a
+        #: deterministic per-link RNG so lossy runs stay reproducible
+        self.loss_rate = loss_rate
+        self._loss_rng = None
+        if loss_rate:
+            self._loss_rng = _loss_rng_for(name)
+        self.endpoint_a: Optional["Interface"] = None
+        self.endpoint_b: Optional["Interface"] = None
+        self._queues = {}
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.frames_lost = 0
+        self.bytes_delivered = 0
+
+    def set_loss_rate(self, rate: float) -> None:
+        """Enable/adjust random frame loss on an existing link."""
+        self.loss_rate = rate
+        if rate and self._loss_rng is None:
+            self._loss_rng = _loss_rng_for(self.name)
+
+    def attach(self, interface: "Interface") -> None:
+        """Attach an endpoint; a link accepts exactly two."""
+        if self.endpoint_a is None:
+            self.endpoint_a = interface
+        elif self.endpoint_b is None:
+            self.endpoint_b = interface
+            self._start_pumps()
+        else:
+            raise RuntimeError(f"{self.name}: link already has two endpoints")
+        interface.link = self
+
+    def _start_pumps(self) -> None:
+        for sender, receiver in (
+            (self.endpoint_a, self.endpoint_b),
+            (self.endpoint_b, self.endpoint_a),
+        ):
+            queue = FifoStore(self.sim, name=f"{self.name}.q")
+            self._queues[id(sender)] = queue
+            self.sim.process(self._pump(queue, receiver), name=f"{self.name}.pump")
+
+    def _pump(self, queue: FifoStore, receiver: "Interface"):
+        while True:
+            frame = yield queue.get()
+            wire_bytes = len(frame) + ETHERNET_OVERHEAD
+            yield self.sim.timeout(wire_bytes * 8 / self.bandwidth_bps)
+            if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+                self.frames_lost += 1
+                continue
+            self.sim.schedule(self.latency_s, lambda f=frame: receiver.deliver(f))
+            self.bytes_delivered += len(frame)
+
+    def transmit(self, sender: "Interface", frame: bytes) -> bool:
+        """Enqueue ``frame`` for transmission from ``sender``'s side.
+
+        Returns False (and drops) when the frame exceeds the MTU or the
+        egress queue is full.
+        """
+        if self.endpoint_b is None:
+            raise RuntimeError(f"{self.name}: link is not fully attached")
+        if len(frame) > self.mtu + 60:  # headroom for encapsulation headers
+            self.frames_dropped += 1
+            return False
+        queue = self._queues[id(sender)]
+        if len(queue) >= self.queue_frames:
+            self.frames_dropped += 1
+            return False
+        self.frames_sent += 1
+        queue.put(frame)
+        return True

@@ -1,0 +1,344 @@
+"""Binary-faithful packet formats: IPv4, UDP, TCP, ICMP.
+
+The wire formats follow the real header layouts (IPv4 without options,
+20-byte TCP header, 8-byte UDP and ICMP-echo headers) so that byte-level
+operations in the VPN and middlebox layers — encryption, MAC computation,
+header rewriting, the 0xEB QoS flagging trick from §IV-A — behave exactly
+as they would on real packets.
+
+Checksums are computed with the genuine Internet checksum algorithm.  The
+TOS/DSCP byte is first-class because EndBox's client-to-client
+optimisation stores its "already processed" flag there.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Union
+
+from repro.netsim.addresses import IPv4Address
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: QoS/TOS value EndBox clients use to flag already-processed packets (§IV-A).
+ENDBOX_PROCESSED_TOS = 0xEB
+
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+TCP_HEADER_LEN = 20
+ICMP_HEADER_LEN = 8
+
+# TCP flag bits
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP datagram (header + payload)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    protocol = PROTO_UDP
+
+    def __len__(self) -> int:
+        return UDP_HEADER_LEN + len(self.payload)
+
+    def serialize(self) -> bytes:
+        """Serialize to wire bytes."""
+        return struct.pack(">HHHH", self.src_port, self.dst_port, len(self), 0) + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError("truncated UDP datagram")
+        src, dst, length, _checksum = struct.unpack(">HHHH", data[:8])
+        if length != len(data):
+            raise ValueError(f"UDP length field {length} != datagram size {len(data)}")
+        return cls(src, dst, data[8:])
+
+
+@dataclass
+class TcpSegment:
+    """A TCP segment with the standard 20-byte header."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    payload: bytes = b""
+
+    protocol = PROTO_TCP
+
+    def __len__(self) -> int:
+        return TCP_HEADER_LEN + len(self.payload)
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & TCP_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & TCP_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & TCP_RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & TCP_ACK)
+
+    def serialize(self) -> bytes:
+        """Serialize to wire bytes."""
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        header = struct.pack(
+            ">HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            offset_flags,
+            self.window,
+            0,  # checksum (filled conceptually; omitted for speed)
+            0,  # urgent pointer
+        )
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TcpSegment":
+        if len(data) < TCP_HEADER_LEN:
+            raise ValueError("truncated TCP segment")
+        src, dst, seq, ack, offset_flags, window, _ck, _urg = struct.unpack(
+            ">HHIIHHHH", data[:20]
+        )
+        data_offset = (offset_flags >> 12) * 4
+        if data_offset < TCP_HEADER_LEN or data_offset > len(data):
+            raise ValueError("bad TCP data offset")
+        return cls(src, dst, seq, ack, offset_flags & 0x3F, window, data[data_offset:])
+
+
+@dataclass
+class IcmpMessage:
+    """ICMP echo request/reply (types 8 and 0)."""
+
+    icmp_type: int
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    protocol = PROTO_ICMP
+    ECHO_REQUEST = 8
+    ECHO_REPLY = 0
+
+    def __len__(self) -> int:
+        return ICMP_HEADER_LEN + len(self.payload)
+
+    def serialize(self) -> bytes:
+        """Serialize to wire bytes."""
+        header = struct.pack(">BBHHH", self.icmp_type, self.code, 0, self.identifier, self.sequence)
+        checksum = internet_checksum(header + self.payload)
+        header = struct.pack(
+            ">BBHHH", self.icmp_type, self.code, checksum, self.identifier, self.sequence
+        )
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IcmpMessage":
+        if len(data) < ICMP_HEADER_LEN:
+            raise ValueError("truncated ICMP message")
+        icmp_type, code, _checksum, identifier, sequence = struct.unpack(">BBHHH", data[:8])
+        return cls(icmp_type, code, identifier, sequence, data[8:])
+
+    def make_reply(self) -> "IcmpMessage":
+        """The echo reply for this echo request."""
+        if self.icmp_type != self.ECHO_REQUEST:
+            raise ValueError("can only reply to echo requests")
+        return IcmpMessage(self.ECHO_REPLY, 0, self.identifier, self.sequence, self.payload)
+
+
+L4Message = Union[UdpDatagram, TcpSegment, IcmpMessage, bytes]
+
+
+@dataclass
+class IPv4Packet:
+    """An IPv4 packet carrying a parsed L4 message (or raw bytes).
+
+    ``tos`` is the type-of-service byte; EndBox's client-to-client
+    optimisation sets it to ``0xEB`` after Click processing.
+
+    ``frag_offset`` (in 8-byte units) and ``more_fragments`` implement
+    real IP fragmentation: large datagrams are split onto MTU-limited
+    links and reassembled at the destination stack.  A fragment's ``l4``
+    is always raw bytes.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    l4: L4Message = b""
+    tos: int = 0
+    ttl: int = 64
+    identification: int = 0
+    protocol: Optional[int] = None
+    frag_offset: int = 0  # in 8-byte units
+    more_fragments: bool = False
+
+    def __post_init__(self) -> None:
+        self.src = IPv4Address(self.src)
+        self.dst = IPv4Address(self.dst)
+        if self.protocol is None:
+            self.protocol = getattr(self.l4, "protocol", 0xFD)  # 0xFD: experimental
+
+    @property
+    def is_fragment(self) -> bool:
+        return self.frag_offset > 0 or self.more_fragments
+
+    @property
+    def total_length(self) -> int:
+        return IPV4_HEADER_LEN + self.l4_length
+
+    @property
+    def l4_length(self) -> int:
+        return len(self.l4)
+
+    def __len__(self) -> int:
+        return self.total_length
+
+    def serialize(self) -> bytes:
+        """Serialize to wire bytes."""
+        body = self.l4 if isinstance(self.l4, bytes) else self.l4.serialize()
+        flags_frag = (0x2000 if self.more_fragments else 0) | (self.frag_offset & 0x1FFF)
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            0x45,  # version 4, IHL 5
+            self.tos,
+            IPV4_HEADER_LEN + len(body),
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack(">H", checksum) + header[12:]
+        return header + body
+
+    def copy(self, **changes) -> "IPv4Packet":
+        """A modified copy (dataclasses.replace)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # IP fragmentation
+    # ------------------------------------------------------------------
+    def fragment(self, mtu: int) -> List["IPv4Packet"]:
+        """Split into fragments that fit ``mtu`` (header included)."""
+        body = self.l4 if isinstance(self.l4, bytes) else self.l4.serialize()
+        max_body = ((mtu - IPV4_HEADER_LEN) // 8) * 8
+        if max_body <= 0:
+            raise ValueError(f"MTU {mtu} too small for IPv4")
+        if len(body) + IPV4_HEADER_LEN <= mtu and not self.is_fragment:
+            return [self]
+        fragments = []
+        offset = 0
+        while offset < len(body):
+            chunk = body[offset : offset + max_body]
+            fragments.append(
+                IPv4Packet(
+                    src=self.src,
+                    dst=self.dst,
+                    l4=chunk,
+                    tos=self.tos,
+                    ttl=self.ttl,
+                    identification=self.identification,
+                    protocol=self.protocol,
+                    frag_offset=self.frag_offset + offset // 8,
+                    more_fragments=(offset + len(chunk) < len(body)) or self.more_fragments,
+                )
+            )
+            offset += len(chunk)
+        return fragments
+
+
+def parse_ipv4(data: bytes, verify_checksum: bool = False) -> IPv4Packet:
+    """Parse bytes into an :class:`IPv4Packet` (and its L4 message)."""
+    if len(data) < IPV4_HEADER_LEN:
+        raise ValueError("truncated IPv4 packet")
+    (
+        version_ihl,
+        tos,
+        total_length,
+        identification,
+        _flags_frag,
+        ttl,
+        protocol,
+        checksum,
+        src_bytes,
+        dst_bytes,
+    ) = struct.unpack(">BBHHHBBH4s4s", data[:IPV4_HEADER_LEN])
+    if version_ihl != 0x45:
+        raise ValueError(f"unsupported version/IHL byte 0x{version_ihl:02x}")
+    if total_length != len(data):
+        raise ValueError(f"IPv4 length field {total_length} != buffer size {len(data)}")
+    if verify_checksum:
+        header = data[:10] + b"\x00\x00" + data[12:IPV4_HEADER_LEN]
+        if internet_checksum(header) != checksum:
+            raise ValueError("IPv4 header checksum mismatch")
+    body = data[IPV4_HEADER_LEN:]
+    more_fragments = bool(_flags_frag & 0x2000)
+    frag_offset = _flags_frag & 0x1FFF
+    if more_fragments or frag_offset:
+        # fragments keep a raw body; L4 parsing happens after reassembly
+        return IPv4Packet(
+            src=IPv4Address.from_bytes(src_bytes),
+            dst=IPv4Address.from_bytes(dst_bytes),
+            l4=body,
+            tos=tos,
+            ttl=ttl,
+            identification=identification,
+            protocol=protocol,
+            frag_offset=frag_offset,
+            more_fragments=more_fragments,
+        )
+    l4: L4Message
+    if protocol == PROTO_UDP:
+        l4 = UdpDatagram.parse(body)
+    elif protocol == PROTO_TCP:
+        l4 = TcpSegment.parse(body)
+    elif protocol == PROTO_ICMP:
+        l4 = IcmpMessage.parse(body)
+    else:
+        l4 = body
+    return IPv4Packet(
+        src=IPv4Address.from_bytes(src_bytes),
+        dst=IPv4Address.from_bytes(dst_bytes),
+        l4=l4,
+        tos=tos,
+        ttl=ttl,
+        identification=identification,
+        protocol=protocol,
+    )

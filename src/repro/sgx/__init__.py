@@ -1,0 +1,61 @@
+"""Software model of Intel SGX (SDK v1.9-era semantics).
+
+The model reproduces every SGX property the EndBox design relies on:
+
+* **Enclaves** (:mod:`~repro.sgx.enclave`): measured at build time
+  (MRENCLAVE = SHA-256 over code identity and initial data), entered only
+  through registered ecalls, with state invisible to untrusted code.
+* **EPC** (:mod:`~repro.sgx.epc`): a 128 MiB enclave page cache; exceeding
+  it triggers paging with a heavy per-page penalty, as on real hardware.
+* **Transitions** (:mod:`~repro.sgx.gateway`): each ecall/ocall charges a
+  transition cost to the enclosing host's cost ledger and is counted, so
+  the paper's "one ecall per packet" optimisation (§IV-A) is measurable.
+* **Attestation** (:mod:`~repro.sgx.attestation`): local reports, a
+  Quoting Enclave that signs quotes with a platform key, and a simulated
+  Intel Attestation Service that verifies them — the full Fig 4 flow.
+* **Sealing** (:mod:`~repro.sgx.sealing`): persistent sealed storage keyed
+  by (platform secret, MRENCLAVE) plus monotonic counters.
+* **Trusted time** (:mod:`~repro.sgx.trusted_time`): the SDK trusted-time
+  service used by EndBox's TrustedSplitter element (§V-B).
+
+Enclaves run in ``HARDWARE`` or ``SIMULATION`` mode, mirroring the SDK:
+simulation mode skips transition and EPC costs but keeps behaviour, which
+is exactly how the paper separates partitioning overhead (EndBox SIM)
+from SGX instruction overhead (EndBox SGX) in Fig 8.
+"""
+
+from repro.sgx.enclave import Enclave, EnclaveError, EnclaveImage, EnclaveMode
+from repro.sgx.epc import EnclavePageCache, EPC_SIZE_BYTES
+from repro.sgx.gateway import CostLedger, EnclaveGateway, InterfaceViolation
+from repro.sgx.attestation import (
+    AttestationError,
+    IntelAttestationService,
+    Quote,
+    QuotingEnclave,
+    Report,
+    SgxPlatform,
+)
+from repro.sgx.sealing import MonotonicCounter, SealedStorage, SealingError
+from repro.sgx.trusted_time import TrustedTime
+
+__all__ = [
+    "AttestationError",
+    "CostLedger",
+    "EPC_SIZE_BYTES",
+    "Enclave",
+    "EnclaveError",
+    "EnclaveGateway",
+    "EnclaveImage",
+    "EnclaveMode",
+    "EnclavePageCache",
+    "IntelAttestationService",
+    "InterfaceViolation",
+    "MonotonicCounter",
+    "Quote",
+    "QuotingEnclave",
+    "Report",
+    "SealedStorage",
+    "SealingError",
+    "SgxPlatform",
+    "TrustedTime",
+]

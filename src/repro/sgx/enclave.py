@@ -1,0 +1,144 @@
+"""Enclave lifecycle, measurement, and isolation.
+
+An :class:`EnclaveImage` is the build artifact: a code identity (the set
+of trusted entry points), initial data, and the signer.  Building it into
+an :class:`Enclave` computes MRENCLAVE as SHA-256 over the code identity
+and initial data — so any change to trusted code or embedded data (such
+as the CA public key EndBox bakes in, §III-C) changes the measurement and
+breaks attestation, exactly as on hardware.
+
+Isolation contract
+------------------
+Trusted state lives in ``enclave.trusted_state`` and is reachable only
+from inside registered ecall handlers; the gateway enforces that entry
+points were declared at build time (so the measurement covers them).  The
+simulated adversary interacts with enclaves only through the gateway —
+which is the same position a real attacker with root is in.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from repro.crypto.hashes import sha256
+from repro.sgx.epc import EnclavePageCache
+
+
+class EnclaveError(RuntimeError):
+    """Lifecycle or isolation violation."""
+
+
+class EnclaveMode(enum.Enum):
+    """SDK execution modes (the paper evaluates both, Fig 8)."""
+
+    HARDWARE = "hardware"
+    SIMULATION = "simulation"
+
+
+class EnclaveImage:
+    """A signed enclave binary: code identity + initial data.
+
+    ``code_identity`` maps ecall names to handler factories.  The
+    measurement covers the *names and source identity* of the handlers
+    and all initial data blobs, so tampering is detectable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ecalls: Dict[str, Callable],
+        initial_data: Optional[Dict[str, bytes]] = None,
+        signer: str = "vendor",
+        version: int = 1,
+    ) -> None:
+        self.name = name
+        self.ecalls = dict(ecalls)
+        self.initial_data = dict(initial_data or {})
+        self.signer = signer
+        self.version = version
+
+    def measure(self) -> bytes:
+        """Compute MRENCLAVE for this image."""
+        chunks = [self.name.encode(), str(self.version).encode()]
+        for ecall_name in sorted(self.ecalls):
+            handler = self.ecalls[ecall_name]
+            identity = getattr(handler, "__qualname__", repr(handler))
+            chunks.append(f"{ecall_name}:{identity}".encode())
+        for key in sorted(self.initial_data):
+            chunks.append(key.encode())
+            value = self.initial_data[key]
+            # non-bytes initial data (e.g. config objects) is measured
+            # through its deterministic repr
+            chunks.append(value if isinstance(value, bytes) else repr(value).encode())
+        return sha256(*chunks)
+
+    def tampered(self, **data_overrides: bytes) -> "EnclaveImage":
+        """A modified image (used by attack tests); measurement differs."""
+        data = dict(self.initial_data)
+        data.update(data_overrides)
+        return EnclaveImage(self.name, self.ecalls, data, self.signer, self.version)
+
+
+class Enclave:
+    """A built enclave instance on some platform."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        image: EnclaveImage,
+        epc: EnclavePageCache,
+        mode: EnclaveMode = EnclaveMode.HARDWARE,
+        heap_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.enclave_id = f"enclave-{next(self._ids)}"
+        self.image = image
+        self.mode = mode
+        self.epc = epc
+        self.mrenclave = image.measure()
+        self.heap_bytes = heap_bytes
+        self.trusted_state: Dict[str, Any] = {
+            key: value for key, value in image.initial_data.items()
+        }
+        self.destroyed = False
+        self._entered = False
+        if mode is EnclaveMode.HARDWARE:
+            epc.allocate(self.enclave_id, heap_bytes)
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Tear the enclave down; all trusted state is lost."""
+        if self.destroyed:
+            return
+        self.destroyed = True
+        self.trusted_state.clear()
+        if self.mode is EnclaveMode.HARDWARE:
+            self.epc.free(self.enclave_id)
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise EnclaveError(f"{self.enclave_id} has been destroyed")
+
+    # ------------------------------------------------------------------
+    # entry (used by the gateway only)
+    # ------------------------------------------------------------------
+    def _enter(self, ecall_name: str):
+        self._check_alive()
+        handler = self.image.ecalls.get(ecall_name)
+        if handler is None:
+            raise EnclaveError(f"undeclared ecall {ecall_name!r}")
+        if self._entered:
+            # The SDK serialises same-TCS entries; model as an error so
+            # accidental re-entrancy is caught in tests.
+            raise EnclaveError("enclave TCS already in use (re-entrant ecall)")
+        self._entered = True
+        return handler
+
+    def _leave(self) -> None:
+        self._entered = False
+
+    def report_data_binding(self, user_data: bytes) -> bytes:
+        """Hash user data into the 64-byte REPORTDATA field format."""
+        return sha256(user_data).ljust(64, b"\x00")

@@ -1,0 +1,145 @@
+"""The ecall/ocall boundary: cost accounting plus interface hardening.
+
+EndBox's §IV-B describes a 90-call interface whose ecalls/ocalls are
+augmented with sanity checks against Iago-style attacks.  The gateway
+models that boundary:
+
+* every ecall/ocall increments transition counters and charges the
+  transition cost (hardware mode only) to a :class:`CostLedger`,
+* declared argument validators run *inside* the boundary; a failing
+  validator raises :class:`InterfaceViolation` without executing the
+  handler — the defence the paper's "interface attacks" paragraph claims,
+* buffers crossing the boundary are *copied* (ecall inputs into the
+  enclave, return values out), and the copy cost is charged, which is
+  what makes small packets expensive in Fig 8.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMode
+
+
+class InterfaceViolation(EnclaveError):
+    """An ecall/ocall argument failed its declared sanity check."""
+
+
+class CostLedger:
+    """Accumulates simulated CPU seconds for later execution on a host."""
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Accumulate simulated seconds."""
+        if seconds < 0:
+            raise ValueError("negative cost")
+        self._accumulated += seconds
+        self.total += seconds
+
+    def drain(self) -> float:
+        """Return and reset the pending simulated time."""
+        pending, self._accumulated = self._accumulated, 0.0
+        return pending
+
+    @property
+    def pending(self) -> float:
+        return self._accumulated
+
+
+class EnclaveGateway:
+    """Untrusted <-> trusted call boundary for one enclave."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        ledger: Optional[CostLedger] = None,
+        transition_cost: float = 0.0,
+        copy_cost_per_byte: float = 0.0,
+        exitless_ocalls: bool = False,
+        exitless_cost: float = 0.2e-6,
+    ) -> None:
+        self.enclave = enclave
+        self.ledger = ledger or CostLedger()
+        self.transition_cost = transition_cost
+        self.copy_cost_per_byte = copy_cost_per_byte
+        #: Eleos-style exitless services (§IV-B mentions that EndBox's
+        #: ocalls "could be omitted by using exitless enclave services"):
+        #: ocalls are serviced by an untrusted worker thread through a
+        #: shared-memory queue instead of EEXIT/EENTER transitions.
+        self.exitless_ocalls = exitless_ocalls
+        self.exitless_cost = exitless_cost
+        self.ecall_count = 0
+        self.ocall_count = 0
+        self.exitless_serviced = 0
+        self._ocalls: Dict[str, Callable] = {}
+        self._validators: Dict[str, Callable[..., bool]] = {}
+
+    # ------------------------------------------------------------------
+    # declaration
+    # ------------------------------------------------------------------
+    def register_ocall(self, name: str, handler: Callable, validator: Optional[Callable[..., bool]] = None) -> None:
+        """Declare an ocall implemented by untrusted code."""
+        self._ocalls[name] = handler
+        if validator is not None:
+            self._validators[f"ocall:{name}"] = validator
+
+    def set_ecall_validator(self, name: str, validator: Callable[..., bool]) -> None:
+        """Attach an input sanity check to an ecall."""
+        self._validators[f"ecall:{name}"] = validator
+
+    # ------------------------------------------------------------------
+    # crossings
+    # ------------------------------------------------------------------
+    def _charge_transition(self, payload_bytes: int) -> None:
+        if self.enclave.mode is EnclaveMode.HARDWARE:
+            self.ledger.add(self.transition_cost + payload_bytes * self.copy_cost_per_byte)
+
+    def ecall(self, name: str, *args: Any, payload_bytes: int = 0, **kwargs: Any) -> Any:
+        """Enter the enclave through entry point ``name``.
+
+        ``payload_bytes`` sizes the buffer copied across the boundary
+        (cost accounting); the actual Python arguments are passed through.
+        """
+        validator = self._validators.get(f"ecall:{name}")
+        if validator is not None and not validator(*args, **kwargs):
+            raise InterfaceViolation(f"ecall {name!r}: argument sanity check failed")
+        handler = self.enclave._enter(name)
+        self.ecall_count += 1
+        self._charge_transition(payload_bytes)
+        try:
+            return handler(self.enclave, self, *args, **kwargs)
+        finally:
+            self.enclave._leave()
+            self._charge_transition(0)  # the EEXIT side
+
+    def ocall(self, name: str, *args: Any, payload_bytes: int = 0, **kwargs: Any) -> Any:
+        """Call out of the enclave into untrusted code.
+
+        Return values are validated (Iago defence) before re-entering.
+        """
+        handler = self._ocalls.get(name)
+        if handler is None:
+            raise EnclaveError(f"undeclared ocall {name!r}")
+        self.ocall_count += 1
+        if self.exitless_ocalls and self.enclave.mode is EnclaveMode.HARDWARE:
+            # shared-memory request to the untrusted worker: no EEXIT,
+            # just queueing/polling cost plus the boundary copy
+            self.exitless_serviced += 1
+            self.ledger.add(self.exitless_cost + payload_bytes * self.copy_cost_per_byte)
+            result = handler(*args, **kwargs)
+        else:
+            self._charge_transition(payload_bytes)
+            result = handler(*args, **kwargs)
+        validator = self._validators.get(f"ocall:{name}")
+        if validator is not None and not validator(result):
+            raise InterfaceViolation(f"ocall {name!r}: return value sanity check failed")
+        if not (self.exitless_ocalls and self.enclave.mode is EnclaveMode.HARDWARE):
+            self._charge_transition(0)  # re-entry
+        return result
+
+    @property
+    def transitions(self) -> int:
+        return self.ecall_count + self.ocall_count

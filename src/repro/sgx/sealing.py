@@ -1,0 +1,95 @@
+"""Sealed storage and monotonic counters.
+
+Sealing keys derive from (platform secret, MRENCLAVE) — the
+``MRENCLAVE`` sealing policy — so sealed blobs survive enclave restarts
+on the same platform but cannot be unsealed by a different enclave or on
+a different machine.  EndBox seals the enclave key pair and its CA
+certificate after provisioning (Fig 4, step 7).
+
+Monotonic counters model the SDK's PSE counters; EndBox-style systems use
+them to reject configuration rollback across restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.crypto.hashes import sha256
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+from repro.crypto.stream import KeystreamCipher
+from repro.sgx.enclave import Enclave
+
+
+class SealingError(RuntimeError):
+    """Unsealing failed (wrong enclave, wrong platform, tampered blob)."""
+
+
+class SealedStorage:
+    """Untrusted persistent storage holding sealed blobs.
+
+    The storage itself is untrusted (an adversary may tamper with or
+    replay blobs); confidentiality and integrity come from the sealing
+    key, and rollback protection comes from monotonic counters.
+    """
+
+    def __init__(self, platform_id: str) -> None:
+        self._platform_secret = sha256(platform_id.encode(), b"seal-fuse-key")
+        self.blobs: Dict[str, bytes] = {}  # deliberately public: untrusted disk
+
+    # ------------------------------------------------------------------
+    def _sealing_key(self, enclave: Enclave) -> bytes:
+        return sha256(self._platform_secret, enclave.mrenclave)
+
+    def seal(self, enclave: Enclave, label: str, plaintext: bytes) -> None:
+        """Encrypt-then-MAC ``plaintext`` under the enclave's sealing key."""
+        key = self._sealing_key(enclave)
+        cipher = KeystreamCipher(key)
+        nonce = sha256(label.encode(), plaintext)[:8]
+        ciphertext = cipher.encrypt(nonce, plaintext)
+        tag = hmac_sha256(key, label.encode(), nonce, ciphertext)
+        self.blobs[label] = nonce + tag + ciphertext
+
+    def unseal(self, enclave: Enclave, label: str) -> bytes:
+        """Authenticate and decrypt a sealed blob."""
+        blob = self.blobs.get(label)
+        if blob is None:
+            raise SealingError(f"no sealed blob {label!r}")
+        if len(blob) < 40:
+            raise SealingError("sealed blob truncated")
+        nonce, tag, ciphertext = blob[:8], blob[8:40], blob[40:]
+        key = self._sealing_key(enclave)
+        if not hmac_verify(key, label.encode() + nonce + ciphertext, tag):
+            raise SealingError("sealed blob failed authentication")
+        return KeystreamCipher(key).decrypt(nonce, ciphertext)
+
+    def exists(self, label: str) -> bool:
+        """True when a blob is stored under the label."""
+        return label in self.blobs
+
+
+class MonotonicCounter:
+    """A platform counter that can only move forward."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, str], int] = {}
+
+    def create(self, enclave: Enclave, name: str) -> int:
+        """Create (or fetch) the counter; returns its value."""
+        key = (enclave.image.name, name)
+        self._counters.setdefault(key, 0)
+        return self._counters[key]
+
+    def read(self, enclave: Enclave, name: str) -> int:
+        """Current counter value."""
+        key = (enclave.image.name, name)
+        if key not in self._counters:
+            raise SealingError(f"counter {name!r} does not exist")
+        return self._counters[key]
+
+    def increment(self, enclave: Enclave, name: str) -> int:
+        """Advance the counter; returns the new value."""
+        key = (enclave.image.name, name)
+        if key not in self._counters:
+            raise SealingError(f"counter {name!r} does not exist")
+        self._counters[key] += 1
+        return self._counters[key]

@@ -1,0 +1,42 @@
+"""Trusted time source (SDK ``sgx_get_trusted_time`` semantics).
+
+EndBox's ``TrustedSplitter`` element shapes traffic using trusted time
+but samples it only every N packets because each call is expensive
+(§V-B: N = 500,000).  The model mirrors both properties: reads are
+monotonic and tamper-proof (the adversary cannot set them back), and
+each read charges a cost to the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sgx.gateway import CostLedger
+from repro.sim import Simulator
+
+
+class TrustedTime:
+    """A monotonic, enclave-only clock with per-read cost."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ledger: Optional[CostLedger] = None,
+        read_cost: float = 10e-6,
+        granularity: float = 1e-3,
+    ) -> None:
+        self.sim = sim
+        self.ledger = ledger
+        self.read_cost = read_cost
+        self.granularity = granularity
+        self._last_read = 0.0
+        self.reads = 0
+
+    def read(self) -> float:
+        """Return trusted time (coarse-grained, monotonic)."""
+        self.reads += 1
+        if self.ledger is not None:
+            self.ledger.add(self.read_cost)
+        value = self.sim.now - (self.sim.now % self.granularity)
+        self._last_read = max(self._last_read, value)
+        return self._last_read

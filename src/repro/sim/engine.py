@@ -1,0 +1,331 @@
+"""Core event loop and process machinery.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy) but is trimmed to exactly what the EndBox reproduction needs, which
+keeps the hot path fast: a binary heap of ``(time, seq, event)`` entries and
+generator-based processes that are resumed when the event they wait on
+fires.
+
+Determinism
+-----------
+Two runs with the same seed and the same process creation order produce
+identical schedules.  Ties in time are broken by a monotonically increasing
+sequence number, never by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal simulator usage (e.g. negative delays)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event carries an optional ``value`` that is delivered to every
+    waiting process as the result of its ``yield``.  Events may also
+    *fail*, in which case the exception is thrown into waiting processes.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "exception", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered successfully (no exception)."""
+        return self.triggered and self.exception is None
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event triggers.
+
+        If the event already triggered, the callback is scheduled to run
+        immediately (at the current simulation time).
+        """
+        if self.triggered:
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
+        self.exception = exception
+        self.sim._dispatch(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        sim._schedule_event(sim.now + delay, self, value)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator's ``return`` value becomes the event value, so parents
+    can ``result = yield sim.process(child())``.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        sim.schedule(0.0, lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self.sim.schedule(0.0, lambda: self._resume(None, Interrupt(cause)))
+
+    def _on_wait_complete(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up (e.g. we were interrupted meanwhile)
+        self._waiting_on = None
+        if event.exception is not None:
+            self._resume(None, event.exception)
+        else:
+            self._resume(event.value, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # An unhandled interrupt simply terminates the process.
+            self.succeed(None)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_complete)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class AllOf(Event):
+    """Composite event that fires once every child event has fired."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        children = list(events)
+        self._pending = len(children)
+        if self._pending == 0:
+            sim.schedule(0.0, lambda: self.succeed([]))
+            return
+        results: List[Any] = [None] * len(children)
+
+        def make_cb(index: int) -> Callable[[Event], None]:
+            def cb(event: Event) -> None:
+                if self.triggered:
+                    return
+                if event.exception is not None:
+                    self.fail(event.exception)
+                    return
+                results[index] = event.value
+                self._pending -= 1
+                if self._pending == 0:
+                    self.succeed(results)
+
+            return cb
+
+        for i, child in enumerate(children):
+            child.add_callback(make_cb(i))
+
+
+class AnyOf(Event):
+    """Composite event that fires when the first child event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="any_of")
+
+        def cb(event: Event) -> None:
+            if self.triggered:
+                return
+            if event.exception is not None:
+                self.fail(event.exception)
+            else:
+                self.succeed((event, event.value))
+
+        children = list(events)
+        if not children:
+            raise SimulationError("any_of() requires at least one event")
+        for child in children:
+            child.add_callback(cb)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, 0, callback))
+
+    def _schedule_event(self, when: float, event: Event, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, 1, (event, value)))
+
+    def _dispatch(self, event: Event) -> None:
+        """Run callbacks of a just-triggered event, immediately and inline.
+
+        Inline dispatch (rather than re-queueing) keeps zero-delay chains
+        (resource grant -> process resume -> next request) cheap; ordering
+        within a timestep is still deterministic because callbacks are
+        stored FIFO.
+        """
+        callbacks, event._callbacks = event._callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    # ------------------------------------------------------------------
+    # user-facing factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a generator as a simulation process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: fires when every child fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: fires on the first child."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled entry.  Returns False when empty."""
+        if not self._heap:
+            return False
+        when, _seq, kind, payload = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self.now = when
+        if kind == 0:
+            payload()
+        else:
+            event, value = payload
+            if not event.triggered:
+                event.succeed(value)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run until the event queue drains or ``until`` is reached."""
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                if not self.step():
+                    return
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled entry, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,37 @@
+"""A small TLS library with EndBox's key-export hook (§III-D).
+
+The paper's approach to encrypted traffic: client applications link
+against a *custom, untrusted* TLS library that forwards every negotiated
+session key to the Click instance inside the enclave (via the OpenVPN
+management interface).  A special Click element then decrypts
+application records transparently — no MITM certificates, no protocol
+changes.
+
+This package implements the pieces for real:
+
+* :mod:`~repro.tlslib.record` — TLS record framing and AEAD-style record
+  protection (keystream + HMAC, per-direction sequence numbers),
+* :mod:`~repro.tlslib.handshake` — an X25519 + HKDF handshake in the
+  TLS 1.3 style with version/cipher negotiation and Finished MACs
+  (downgrade attempts are detectable, §V-A),
+* :mod:`~repro.tlslib.session` — established sessions: endpoint
+  encrypt/decrypt plus the *observer* API the TLSDecrypt element uses,
+* :mod:`~repro.tlslib.keylog` — the key registry fed by the custom
+  library's export hook,
+* :mod:`~repro.tlslib.library` — ``TlsLibrary`` ("system" or
+  "endbox-custom" flavours) driving handshakes over simulated TCP.
+"""
+
+from repro.tlslib.handshake import TlsAlert, TlsVersion
+from repro.tlslib.keylog import TlsKeyRegistry
+from repro.tlslib.library import TlsLibrary, TlsStream
+from repro.tlslib.session import TlsSession
+
+__all__ = [
+    "TlsAlert",
+    "TlsKeyRegistry",
+    "TlsLibrary",
+    "TlsSession",
+    "TlsStream",
+    "TlsVersion",
+]

@@ -1,0 +1,46 @@
+"""The TLS key registry fed by the custom library's export hook.
+
+EndBox's modified OpenSSL adds "a single call to a custom function,
+which forwards negotiated keys via the OpenVPN management interface"
+(§III-D).  The receiving end is this registry, living inside the
+enclave next to Click: the TLSDecrypt element looks up sessions by
+connection 4-tuple (either direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tlslib.session import TlsSession
+
+FlowKey = Tuple  # (src, sport, dst, dport)
+
+
+class TlsKeyRegistry:
+    """Session keys indexed by connection endpoints."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[FlowKey, TlsSession] = {}
+        self.keys_registered = 0
+
+    def register(self, session: TlsSession) -> None:
+        """Index a session under both flow directions."""
+        if session.client_endpoint is None or session.server_endpoint is None:
+            raise ValueError("session must carry endpoint identities")
+        client, server = tuple(session.client_endpoint), tuple(session.server_endpoint)
+        self._sessions[client + server] = session
+        self._sessions[server + client] = session
+        self.keys_registered += 1
+
+    def lookup(self, src, sport, dst, dport) -> Optional[TlsSession]:
+        """Find a session by connection 4-tuple, or None."""
+        return self._sessions.get((src, sport, dst, dport))
+
+    def forget(self, session: TlsSession) -> None:
+        """Remove a session from the index."""
+        client, server = tuple(session.client_endpoint), tuple(session.server_endpoint)
+        self._sessions.pop(client + server, None)
+        self._sessions.pop(server + client, None)
+
+    def __len__(self) -> int:
+        return self.keys_registered

@@ -1,0 +1,174 @@
+"""TlsLibrary: the application-facing TLS API over simulated TCP.
+
+Two flavours exist, matching the Table I configurations:
+
+* ``TlsLibrary(custom=False)`` — "system OpenSSL": a plain TLS stack.
+* ``TlsLibrary(custom=True, key_export=hook)`` — "EndBox OpenSSL": after
+  every handshake the negotiated :class:`TlsSession` is forwarded
+  through ``key_export`` (the OpenVPN management interface), which costs
+  a small amount of extra latency (the ``mgmt_key_forward`` constant).
+
+Handshake messages travel as length-prefixed frames over the TCP
+connection; application data as TLS records.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.crypto.drbg import HmacDrbg
+from repro.tlslib.handshake import (
+    ClientHandshake,
+    ServerHandshake,
+    TlsAlert,
+    TlsVersion,
+)
+from repro.tlslib.record import TYPE_APPLICATION_DATA, RecordError, parse_records
+from repro.tlslib.session import TlsSession
+
+KeyExportHook = Callable[[TlsSession], None]
+
+
+class TlsStream:
+    """An established TLS connection over a netsim TCP connection."""
+
+    def __init__(self, conn, session: TlsSession, role: str) -> None:
+        self.conn = conn
+        self.session = session
+        self.role = role
+        self._rx_buffer = b""
+        self._plain = b""
+
+    # ------------------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        """Encrypt and queue application data."""
+        self.conn.send(self.session.protect(self.role, data))
+
+    def read_exactly(self, count: int):
+        """Process generator: read ``count`` plaintext bytes."""
+        while len(self._plain) < count:
+            yield from self._fill()
+        result, self._plain = self._plain[:count], self._plain[count:]
+        return result
+
+    def read_until(self, delimiter: bytes):
+        """Process generator: read plaintext through ``delimiter``."""
+        while delimiter not in self._plain:
+            yield from self._fill()
+        index = self._plain.index(delimiter) + len(delimiter)
+        result, self._plain = self._plain[:index], self._plain[index:]
+        return result
+
+    def _fill(self):
+        chunk = yield self.conn.recv()
+        if chunk == b"":
+            raise TlsAlert("connection closed")
+        self._rx_buffer += chunk
+        records, self._rx_buffer = parse_records(self._rx_buffer)
+        for record in records:
+            if record.record_type != TYPE_APPLICATION_DATA:
+                continue
+            try:
+                self._plain += self.session.unprotect(self.role, record)
+            except RecordError as exc:
+                raise TlsAlert(str(exc)) from exc
+
+    def close(self) -> None:
+        """Close and release the resource."""
+        self.conn.close()
+
+
+def _send_frame(conn, payload: bytes) -> None:
+    """Send a handshake message as a (cleartext) TLS handshake record.
+
+    Keeping the whole byte stream record-framed is what lets a passive
+    observer (EndBox's TLSDecrypt element) stay in sync: it skips
+    handshake records and decrypts only application-data records.
+    """
+    from repro.tlslib.record import TYPE_HANDSHAKE, TlsRecord
+
+    conn.send(TlsRecord(TYPE_HANDSHAKE, 0x0303, payload).serialize())
+
+
+def _read_frame(conn):
+    header = yield from conn.read_exactly(5)
+    record_type, _version, length = struct.unpack(">BHH", header)
+    if length > 1 << 14:
+        raise TlsAlert("oversized handshake record")
+    payload = yield from conn.read_exactly(length)
+    if record_type != 22:  # TYPE_HANDSHAKE
+        raise TlsAlert(f"expected a handshake record, got type {record_type}")
+    return payload
+
+
+class TlsLibrary:
+    """Factory for TLS client/server streams.
+
+    Parameters
+    ----------
+    custom:
+        True for the EndBox-modified library that exports session keys.
+    key_export:
+        Callback receiving every negotiated session (only used when
+        ``custom`` is True).
+    versions / min_version:
+        Offered client versions / minimum version the server accepts.
+    """
+
+    def __init__(
+        self,
+        seed: bytes = b"tls-library",
+        custom: bool = False,
+        key_export: Optional[KeyExportHook] = None,
+        versions: Optional[List[str]] = None,
+        min_version: str = TlsVersion.TLS12,
+    ) -> None:
+        self._drbg = HmacDrbg(seed)
+        self.custom = custom
+        self.key_export = key_export
+        self.versions = versions
+        self.min_version = min_version
+        self.handshakes_completed = 0
+
+    # ------------------------------------------------------------------
+    def client_handshake(self, conn, server_name: str = ""):
+        """Process generator: run the client side; returns a TlsStream."""
+        handshake = ClientHandshake(
+            self._drbg.child(b"client"), versions=self.versions, server_name=server_name
+        )
+        _send_frame(conn, handshake.client_hello())
+        server_hello = yield from _read_frame(conn)
+        finished = handshake.process_server_hello(server_hello)
+        server_finished = yield from _read_frame(conn)
+        handshake.verify_server_finished(server_finished)
+        _send_frame(conn, finished)
+        session = TlsSession(
+            handshake.keys,
+            client_endpoint=(conn.local_addr, conn.local_port),
+            server_endpoint=(conn.remote_addr, conn.remote_port),
+        )
+        self._after_handshake(session)
+        return TlsStream(conn, session, "client")
+
+    def server_handshake(self, conn):
+        """Process generator: run the server side; returns a TlsStream."""
+        handshake = ServerHandshake(self._drbg.child(b"server"), min_version=self.min_version)
+        client_hello = yield from _read_frame(conn)
+        server_hello, server_finished = handshake.process_client_hello(client_hello)
+        _send_frame(conn, server_hello)
+        _send_frame(conn, server_finished)
+        client_finished = yield from _read_frame(conn)
+        handshake.verify_client_finished(client_finished)
+        session = TlsSession(
+            handshake.keys,
+            client_endpoint=(conn.remote_addr, conn.remote_port),
+            server_endpoint=(conn.local_addr, conn.local_port),
+        )
+        self._after_handshake(session)
+        return TlsStream(conn, session, "server")
+
+    def _after_handshake(self, session: TlsSession) -> None:
+        self.handshakes_completed += 1
+        if self.custom and self.key_export is not None:
+            self.key_export(session)

@@ -1,0 +1,104 @@
+"""Established TLS sessions: endpoint I/O and the observer API.
+
+A :class:`TlsSession` wraps the derived
+:class:`~repro.tlslib.handshake.SessionKeys`.  Endpoints use
+``protect``/``unprotect`` to exchange application data.  The EndBox
+TLSDecrypt element uses :meth:`decrypt_stream`, which maintains its own
+per-direction record counters: given the raw TCP byte stream of one
+direction it peels off complete records and decrypts them, returning
+``(plaintext, unconsumed_tail)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tlslib.handshake import SessionKeys
+from repro.tlslib.record import (
+    TYPE_APPLICATION_DATA,
+    RecordError,
+    RecordProtection,
+    TlsRecord,
+    parse_records,
+)
+
+
+class TlsSession:
+    """One TLS connection's keys, shared by endpoints and observers."""
+
+    def __init__(
+        self,
+        keys: SessionKeys,
+        client_endpoint: Optional[Tuple] = None,
+        server_endpoint: Optional[Tuple] = None,
+    ) -> None:
+        self.keys = keys
+        self.client_endpoint = client_endpoint  # (address, port)
+        self.server_endpoint = server_endpoint
+        # endpoint-side protection state
+        self._client_tx = RecordProtection(keys.client_write)
+        self._server_tx = RecordProtection(keys.server_write)
+        self._client_rx = RecordProtection(keys.server_write)
+        self._server_rx = RecordProtection(keys.client_write)
+        # observer-side (middlebox) per-direction state
+        self._observer_rx: Dict[str, RecordProtection] = {
+            "client": RecordProtection(keys.client_write),
+            "server": RecordProtection(keys.server_write),
+        }
+        # retransmission cache: a TCP sender may resend a record the
+        # observer already consumed; without this an attacker could evade
+        # inspection by provoking retransmissions (the dropped-then-
+        # retransmitted packet would decrypt to nothing)
+        self._observer_seen: Dict[bytes, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # endpoint API
+    # ------------------------------------------------------------------
+    def protect(self, role: str, plaintext: bytes) -> bytes:
+        """Encrypt+authenticate plaintext for this role."""
+        protection = self._client_tx if role == "client" else self._server_tx
+        return protection.protect(TYPE_APPLICATION_DATA, plaintext)
+
+    def unprotect(self, role: str, record: TlsRecord) -> bytes:
+        """Authenticate+decrypt a record for this role."""
+        protection = self._client_rx if role == "client" else self._server_rx
+        return protection.unprotect(record)
+
+    # ------------------------------------------------------------------
+    # observer (middlebox) API
+    # ------------------------------------------------------------------
+    def _direction_of(self, sender: Optional[Tuple]) -> str:
+        if sender is None or self.client_endpoint is None:
+            return "client"
+        return "client" if tuple(sender) == tuple(self.client_endpoint) else "server"
+
+    def decrypt_stream(self, buffer: bytes, sender: Optional[Tuple] = None) -> Tuple[bytes, bytes]:
+        """Decrypt all complete records in ``buffer`` (one direction).
+
+        Returns ``(plaintext, remainder)``.  Handshake/alert records are
+        consumed but contribute no plaintext.  Undecryptable data is
+        passed over silently (the middlebox must not break unknown
+        traffic).
+        """
+        direction = self._direction_of(sender)
+        protection = self._observer_rx[direction]
+        try:
+            records, remainder = parse_records(buffer)
+        except RecordError:
+            return b"", b""
+        plaintext = bytearray()
+        for record in records:
+            if record.record_type != TYPE_APPLICATION_DATA:
+                continue
+            cached = self._observer_seen.get(record.body)
+            if cached is not None:
+                plaintext.extend(cached)  # retransmitted record
+                continue
+            try:
+                decrypted = protection.unprotect(record)
+            except RecordError:
+                continue  # not for this session / corrupted
+            if len(self._observer_seen) < 512:
+                self._observer_seen[record.body] = decrypted
+            plaintext.extend(decrypted)
+        return bytes(plaintext), remainder

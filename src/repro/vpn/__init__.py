@@ -1,0 +1,58 @@
+"""An OpenVPN-like VPN: the substrate EndBox is built on (§III, §IV).
+
+The implementation mirrors the OpenVPN mechanisms the paper relies on:
+
+* a **control channel** with an authenticated key exchange (certificates
+  signed by the deployment CA, X25519 key agreement, transcript-bound
+  session keys) — :mod:`~repro.vpn.handshake`,
+* a **data channel** protecting every inner IP packet with
+  AES-128-CBC + HMAC (or HMAC-only integrity protection in the ISP
+  scenario, §IV-A) — :mod:`~repro.vpn.channel`,
+* **replay protection** with a sliding window — :mod:`~repro.vpn.replay`,
+* **fragmentation** of large tunnel packets to the link MTU —
+  :mod:`~repro.vpn.fragment`,
+* periodic **ping keepalives**, extended with EndBox's configuration
+  version and grace-period fields (§III-E) — :mod:`~repro.vpn.ping`,
+* a **management interface** used by the custom TLS library to forward
+  session keys into the tunnel endpoint (§III-D) —
+  :mod:`~repro.vpn.management`,
+* the client/server daemons themselves — :mod:`~repro.vpn.openvpn`.
+
+``OpenVpnClient``/``OpenVpnServer`` run vanilla tunnels; EndBox's
+enclave-partitioned client lives in :mod:`repro.core` and reuses all of
+this machinery.
+"""
+
+from repro.vpn.channel import ChannelError, DataChannel, ProtectionMode
+from repro.vpn.fragment import FragmentError, Fragmenter, Reassembler
+from repro.vpn.management import ManagementInterface
+from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer, VpnError
+from repro.vpn.ping import PingMessage
+from repro.vpn.protocol import (
+    OP_CONTROL_HELLO,
+    OP_CONTROL_REPLY,
+    OP_DATA,
+    OP_PING,
+    VpnPacket,
+)
+from repro.vpn.replay import ReplayWindow
+
+__all__ = [
+    "ChannelError",
+    "DataChannel",
+    "FragmentError",
+    "Fragmenter",
+    "ManagementInterface",
+    "OP_CONTROL_HELLO",
+    "OP_CONTROL_REPLY",
+    "OP_DATA",
+    "OP_PING",
+    "OpenVpnClient",
+    "OpenVpnServer",
+    "PingMessage",
+    "ProtectionMode",
+    "Reassembler",
+    "ReplayWindow",
+    "VpnError",
+    "VpnPacket",
+]

@@ -1,0 +1,88 @@
+"""The data channel: per-packet encryption and authentication.
+
+``DataChannel`` owns one direction pair of symmetric keys derived during
+the control-channel handshake.  Modes (§IV-A, scenario-specific traffic
+protection):
+
+* ``ENCRYPT_AND_MAC`` — AES-128-CBC-style encryption + HMAC (enterprise
+  scenario; the default, like OpenVPN's data channel),
+* ``MAC_ONLY`` — payload travels in clear but integrity-protected (ISP
+  scenario; users opted in, so confidentiality against the ISP is not a
+  goal, but Click-processing still cannot be bypassed).
+
+Functionally the bulk cipher is the fast keyed keystream cipher; the
+cost model charges AES prices (see ``repro.costs``).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+from repro.crypto.stream import KeystreamCipher
+from repro.vpn.protocol import OP_DATA, VpnPacket
+
+TAG_LEN = 16
+
+
+class ChannelError(RuntimeError):
+    """Authentication or format failure on the data channel."""
+
+
+class ProtectionMode(enum.Enum):
+    ENCRYPT_AND_MAC = "encrypt+mac"
+    MAC_ONLY = "mac-only"
+
+
+class DataChannel:
+    """Symmetric protection for one VPN session direction."""
+
+    def __init__(self, cipher_key: bytes, hmac_key: bytes, mode: ProtectionMode = ProtectionMode.ENCRYPT_AND_MAC) -> None:
+        if len(cipher_key) < 16 or len(hmac_key) < 16:
+            raise ValueError("channel keys must be at least 16 bytes")
+        self._cipher = KeystreamCipher(cipher_key.ljust(16, b"\x00"))
+        self._hmac_key = hmac_key
+        self.mode = mode
+        self.packets_protected = 0
+        self.packets_rejected = 0
+
+    # ------------------------------------------------------------------
+    def _nonce(self, session_id: int, packet_id: int) -> bytes:
+        return struct.pack(">QQ", session_id, packet_id)
+
+    def protect(self, packet: VpnPacket, plaintext: bytes) -> VpnPacket:
+        """Fill ``packet.body`` with the protected form of ``plaintext``."""
+        if packet.opcode != OP_DATA:
+            raise ChannelError("data channel only protects DATA packets")
+        if self.mode is ProtectionMode.ENCRYPT_AND_MAC:
+            payload = self._cipher.encrypt(self._nonce(packet.session_id, packet.packet_id), plaintext)
+        else:
+            payload = plaintext
+        packet.body = payload  # header must reflect final body for the MAC
+        tag = hmac_sha256(self._hmac_key, packet.auth_header(), payload)[:TAG_LEN]
+        packet.body = payload + tag
+        self.packets_protected += 1
+        return packet
+
+    def unprotect(self, packet: VpnPacket) -> bytes:
+        """Authenticate and (if encrypted) decrypt a DATA packet body."""
+        if len(packet.body) < TAG_LEN:
+            self.packets_rejected += 1
+            raise ChannelError("data packet too short")
+        payload, tag = packet.body[:-TAG_LEN], packet.body[-TAG_LEN:]
+        header = VpnPacket(
+            opcode=packet.opcode,
+            session_id=packet.session_id,
+            packet_id=packet.packet_id,
+            body=payload,
+            frag_id=packet.frag_id,
+            frag_index=packet.frag_index,
+            frag_count=packet.frag_count,
+        ).auth_header()
+        if not hmac_verify(self._hmac_key, header + payload, tag):
+            self.packets_rejected += 1
+            raise ChannelError("data packet failed authentication")
+        if self.mode is ProtectionMode.ENCRYPT_AND_MAC:
+            return self._cipher.decrypt(self._nonce(packet.session_id, packet.packet_id), payload)
+        return payload

@@ -1,0 +1,69 @@
+"""Tunnel-level fragmentation (OpenVPN ``--fragment`` semantics).
+
+Tunnel packets larger than the per-datagram budget are split into
+fragments that share a ``frag_id``; the peer reassembles them in order.
+Incomplete groups time out implicitly when their id is evicted from the
+bounded reassembly table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+
+class FragmentError(ValueError):
+    """Inconsistent fragment metadata."""
+
+
+class Fragmenter:
+    """Splits plaintext tunnel payloads into fragment bodies."""
+
+    def __init__(self, max_payload: int = 8900) -> None:
+        if max_payload < 1:
+            raise FragmentError("fragment payload must be positive")
+        self.max_payload = max_payload
+        self._next_frag_id = 1
+
+    def split(self, data: bytes) -> Tuple[int, List[bytes]]:
+        """Returns (frag_id, [fragment bodies])."""
+        frag_id = self._next_frag_id
+        self._next_frag_id = (self._next_frag_id + 1) & 0xFFFFFFFF or 1
+        if len(data) <= self.max_payload:
+            return frag_id, [data]
+        pieces = [data[i : i + self.max_payload] for i in range(0, len(data), self.max_payload)]
+        return frag_id, pieces
+
+
+class Reassembler:
+    """Rebuilds tunnel payloads from fragment bodies."""
+
+    def __init__(self, max_groups: int = 256) -> None:
+        self.max_groups = max_groups
+        self._groups: "OrderedDict[Tuple[int, int], List[Optional[bytes]]]" = OrderedDict()
+        self.completed = 0
+        self.dropped_groups = 0
+
+    def add(self, session_id: int, frag_id: int, index: int, count: int, body: bytes) -> Optional[bytes]:
+        """Add one fragment; returns the full payload when complete."""
+        if count == 1:
+            self.completed += 1
+            return body
+        if count < 1 or index >= count:
+            raise FragmentError("invalid fragment index/count")
+        key = (session_id, frag_id)
+        group = self._groups.get(key)
+        if group is None:
+            group = [None] * count
+            self._groups[key] = group
+            if len(self._groups) > self.max_groups:
+                self._groups.popitem(last=False)
+                self.dropped_groups += 1
+        if len(group) != count:
+            raise FragmentError("fragment count mismatch within group")
+        group[index] = body
+        if all(piece is not None for piece in group):
+            del self._groups[key]
+            self.completed += 1
+            return b"".join(group)  # type: ignore[arg-type]
+        return None

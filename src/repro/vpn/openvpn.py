@@ -1,0 +1,804 @@
+"""OpenVPN-like client and server daemons over the simulated network.
+
+The client owns a TUN device: packets the host routes into the tunnel
+are read, protected on the data channel, fragmented to the MTU and sent
+as UDP datagrams; inbound datagrams take the reverse path.  The server
+terminates many sessions, enforces certificate-based admission, replay
+windows and (for EndBox) configuration-version policy, and routes inner
+packets via its host stack — including hairpin client-to-client
+forwarding.
+
+Threading model: OpenVPN is single-threaded, and the paper runs *one
+server process per client*.  Each client has one worker process doing
+all per-packet work, and the server has one worker per session; workers
+charge calibrated CPU costs (``repro.vpn.costing``) against their host's
+core pool, which is how throughput saturation, CPU-usage curves and
+multi-process contention emerge.
+
+Subclass hooks (used by EndBox in :mod:`repro.core`):
+
+* ``process_egress(packet)`` / ``process_ingress(packet)`` on the client
+  return ``(accept, packet, cpu_seconds)``,
+* ``session_packet_hook(session, packet, inbound)`` on the server allows
+  per-session middlebox attachment (the OpenVPN+Click baseline),
+* ``admit_session(cert, version)`` / ``data_policy(session)`` on the
+  server implement admission and grace-period enforcement (§III-E).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.costs.model import CostModel, default_cost_model
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.host import Host
+from repro.netsim.packet import IPv4Packet, parse_ipv4
+from repro.netsim.tun import TunDevice
+from repro.sim import FifoStore
+from repro.vpn.channel import ChannelError, DataChannel, ProtectionMode
+from repro.vpn.costing import (
+    client_egress_cost,
+    client_ingress_completion_cost,
+    ingress_fragment_cost,
+    server_click_attach_cost,
+    server_completion_cost,
+    server_egress_cost,
+)
+from repro.vpn.fragment import Fragmenter, Reassembler
+from repro.vpn.handshake import (
+    Certificate,
+    ClientKeyExchange,
+    HandshakeError,
+    ServerKeyExchange,
+    SessionSecrets,
+)
+from repro.vpn.management import ManagementInterface
+from repro.vpn.ping import PingError, PingMessage
+from repro.vpn.protocol import (
+    OP_CONTROL_HELLO,
+    OP_CONTROL_REPLY,
+    OP_DATA,
+    OP_PING,
+    OP_REJECT,
+    ProtocolError,
+    VpnPacket,
+)
+from repro.vpn.replay import ReplayWindow
+
+OP_SESSION_CONFIG = 6
+
+VPN_PORT = 1194
+
+
+class VpnError(RuntimeError):
+    """Connection-level VPN failure."""
+
+
+class VpnSession:
+    """Server-side state for one connected client."""
+
+    def __init__(
+        self,
+        server: "OpenVpnServer",
+        session_id: int,
+        secrets: SessionSecrets,
+        certificate: Certificate,
+        outer_addr: IPv4Address,
+        outer_port: int,
+        tunnel_ip: IPv4Address,
+        mode: ProtectionMode,
+    ) -> None:
+        self.server = server
+        self.session_id = session_id
+        self.secrets = secrets
+        self.certificate = certificate
+        self.outer_addr = outer_addr
+        self.outer_port = outer_port
+        self.tunnel_ip = tunnel_ip
+        self.rx_channel = DataChannel(secrets.client_cipher, secrets.client_hmac, mode)
+        self.tx_channel = DataChannel(secrets.server_cipher, secrets.server_hmac, mode)
+        self.replay = ReplayWindow()
+        self.reassembler = Reassembler()
+        self.fragmenter = Fragmenter()
+        self.established = False
+        self.client_version = 0
+        self.last_ping_time = 0.0
+        self.next_packet_id = 1
+        self.inner_bytes_in = 0  # decrypted payload bytes from the client
+        self.inner_bytes_out = 0
+        self.packets_dropped_policy = 0
+        #: (router, ledger) of an attached Click (OpenVPN+Click baseline)
+        self.middlebox = None
+        #: the per-session "OpenVPN process" work queue
+        self.inbox = FifoStore(server.sim, name=f"session-{session_id}.inbox")
+        self.worker = server.sim.process(server._session_worker(self), name=f"session-{session_id}")
+
+    def take_packet_id(self) -> int:
+        """Allocate the next data-channel packet id."""
+        packet_id = self.next_packet_id
+        self.next_packet_id += 1
+        return packet_id
+
+
+class OpenVpnServer:
+    """The VPN concentrator at the edge of the managed network."""
+
+    def __init__(
+        self,
+        host: Host,
+        identity_key: X25519PrivateKey,
+        certificate: Certificate,
+        ca_public_key: RsaPublicKey,
+        tunnel_network: str = "10.8.0.0/24",
+        port: int = VPN_PORT,
+        cost_model: Optional[CostModel] = None,
+        protection_mode: ProtectionMode = ProtectionMode.ENCRYPT_AND_MAC,
+        ping_interval: float = 1.0,
+        charge_cpu: bool = True,
+        seed: bytes = b"vpn-server",
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.identity_key = identity_key
+        self.certificate = certificate
+        self.ca_public_key = ca_public_key
+        self.port = port
+        self.model = cost_model or default_cost_model()
+        self.mode = protection_mode
+        self.ping_interval = ping_interval
+        self.charge_cpu = charge_cpu
+        self._drbg = HmacDrbg(seed)
+        self.tunnel_network = IPv4Network(tunnel_network)
+        self._next_host_index = 2  # .1 is the server's tunnel address
+        self.server_tunnel_ip = self.tunnel_network.host(1)
+        self.tun: Optional[TunDevice] = None
+        self.sock = None
+        self.sessions_by_peer: Dict[Tuple[IPv4Address, int], VpnSession] = {}
+        self.sessions_by_tunnel_ip: Dict[IPv4Address, VpnSession] = {}
+        self._next_session = 1
+        # EndBox configuration enforcement state (§III-E)
+        self.current_config_version = 1
+        self.grace_deadline: Optional[float] = None
+        self.grace_period_s = 0.0
+        #: oversubscription input for the OpenVPN+Click hand-off penalty:
+        #: runnable daemon processes beyond the effective core count
+        self.oversubscription = 0.0
+        self.packets_rejected = 0
+        self.handshakes_completed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the component's simulation processes."""
+        if self._running:
+            raise VpnError("server already started")
+        self._running = True
+        if self.tun is None:
+            self.tun = self.host.add_tun(
+                self.server_tunnel_ip, self.tunnel_network, name=f"{self.host.name}.tun0"
+            )
+        self.sock = self.host.stack.udp_socket(self.port)
+        self.sim.process(self._rx_dispatch(), name="vpn-server-rx")
+        self.sim.process(self._tx_dispatch(), name="vpn-server-tx")
+        self.sim.process(self._ping_loop(), name="vpn-server-ping")
+
+    def _charge(self, seconds: float):
+        if self.charge_cpu and seconds > 0:
+            yield from self.host.execute(seconds)
+
+    # ------------------------------------------------------------------
+    # admission & policy hooks
+    # ------------------------------------------------------------------
+    def admit_session(self, certificate: Certificate, client_version: int) -> bool:
+        """Admission control; EndBox adds attestation/version gating."""
+        return True
+
+    def data_policy(self, session: VpnSession) -> bool:
+        """Per-packet policy: enforce the configuration grace period."""
+        if session.client_version >= self.current_config_version:
+            return True
+        if self.grace_deadline is None or self.sim.now < self.grace_deadline:
+            return True
+        return False
+
+    def session_packet_hook(
+        self, session: VpnSession, packet: IPv4Packet, inbound: bool
+    ) -> Tuple[bool, IPv4Packet, float]:
+        """Optional per-session middlebox (the OpenVPN+Click baseline)."""
+        if session.middlebox is None:
+            return True, packet, 0.0
+        router, ledger = session.middlebox
+        accepted, packet = router.process(packet)
+        cost = ledger.drain() + server_click_attach_cost(
+            self.model, len(packet), self.oversubscription
+        )
+        return accepted, packet, cost
+
+    def announce_config(self, version: int, grace_period_s: float) -> None:
+        """Management entry point for the administrator (Fig 5, step 2)."""
+        if version <= self.current_config_version:
+            raise VpnError(
+                f"config versions must increase (current {self.current_config_version}, got {version})"
+            )
+        self.current_config_version = version
+        self.grace_period_s = grace_period_s
+        self.grace_deadline = self.sim.now + grace_period_s
+
+    # ------------------------------------------------------------------
+    # dispatch loops (cheap demux; CPU work happens in session workers)
+    # ------------------------------------------------------------------
+    def _rx_dispatch(self):
+        while True:
+            payload, src, src_port, _ = yield self.sock.recv()
+            try:
+                packet = VpnPacket.parse(payload)
+            except ProtocolError:
+                continue
+            if packet.opcode == OP_CONTROL_HELLO:
+                self.sim.process(self._handle_hello(packet, src, src_port))
+                continue
+            session = self.sessions_by_peer.get((src, src_port))
+            if session is None:
+                self.packets_rejected += 1
+                continue
+            session.inbox.put(("rx", packet))
+
+    def _tx_dispatch(self):
+        while True:
+            inner = yield self.tun.read()
+            session = self.sessions_by_tunnel_ip.get(inner.dst)
+            if session is None or not session.established:
+                continue
+            session.inbox.put(("tx", inner))
+
+    def _ping_loop(self):
+        while True:
+            yield self.sim.timeout(self.ping_interval)
+            for session in list(self.sessions_by_peer.values()):
+                if session.established:
+                    self._send_ping(session)
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+    def _handle_hello(self, packet: VpnPacket, src: IPv4Address, src_port: int):
+        yield from self._charge(self.model.asymmetric_op)
+        exchange = ServerKeyExchange(self.identity_key, self.certificate, self.ca_public_key, self._drbg)
+        try:
+            reply, secrets, client_cert, client_version = exchange.process_hello(packet.body)
+        except HandshakeError:
+            self.packets_rejected += 1
+            return
+        if not self.admit_session(client_cert, client_version):
+            self.packets_rejected += 1
+            self.sock.sendto(
+                VpnPacket(OP_REJECT, 0, 0, b"admission denied").serialize(), src, src_port
+            )
+            return
+        existing = self.sessions_by_peer.get((src, src_port))
+        if existing is not None:
+            existing.worker.interrupt("superseded")
+            self.sessions_by_tunnel_ip.pop(existing.tunnel_ip, None)
+            tunnel_ip = existing.tunnel_ip
+        else:
+            tunnel_ip = self.tunnel_network.host(self._next_host_index)
+            self._next_host_index += 1
+        session = VpnSession(
+            server=self,
+            session_id=self._next_session,
+            secrets=secrets,
+            certificate=client_cert,
+            outer_addr=src,
+            outer_port=src_port,
+            tunnel_ip=tunnel_ip,
+            mode=self.mode,
+        )
+        self._next_session += 1
+        session.client_version = client_version
+        self.sessions_by_peer[(src, src_port)] = session
+        self.sessions_by_tunnel_ip[tunnel_ip] = session
+        self.handshakes_completed += 1
+        self.on_session_created(session)
+        self.sock.sendto(
+            VpnPacket(OP_CONTROL_REPLY, session.session_id, 0, reply).serialize(), src, src_port
+        )
+
+    def on_session_created(self, session: VpnSession) -> None:
+        """Hook: subclasses attach middleboxes / record state here."""
+
+    # ------------------------------------------------------------------
+    # per-session worker ("one OpenVPN process per client")
+    # ------------------------------------------------------------------
+    def _session_worker(self, session: VpnSession):
+        while True:
+            kind, item = yield session.inbox.get()
+            if kind == "rx":
+                yield from self._session_rx(session, item)
+            else:
+                yield from self._session_tx(session, item)
+
+    def _session_rx(self, session: VpnSession, packet: VpnPacket):
+        if packet.opcode == OP_PING:
+            yield from self._session_ping(session, packet)
+            return
+        if packet.opcode != OP_DATA:
+            return
+        if not session.established:
+            self.packets_rejected += 1
+            return
+        if not session.replay.check_and_update(packet.packet_id):
+            self.packets_rejected += 1
+            return
+        try:
+            plaintext = session.rx_channel.unprotect(packet)
+        except ChannelError:
+            self.packets_rejected += 1
+            return
+        # per-datagram work: socket recv, copy, verify+decrypt
+        yield from self._charge(ingress_fragment_cost(self.model, len(plaintext), self.mode))
+        inner_bytes = session.reassembler.add(
+            packet.session_id, packet.frag_id, packet.frag_index, packet.frag_count, plaintext
+        )
+        if inner_bytes is None:
+            return
+        try:
+            inner = parse_ipv4(inner_bytes)
+        except ValueError:
+            self.packets_rejected += 1
+            return
+        if not self.data_policy(session):
+            session.packets_dropped_policy += 1
+            self.packets_rejected += 1
+            yield from self._charge(self.model.vpn_server_fixed)
+            return
+        accepted, inner, middlebox_cost = self.session_packet_hook(session, inner, inbound=True)
+        yield from self._charge(
+            server_completion_cost(self.model, len(inner_bytes)) + middlebox_cost
+        )
+        if not accepted:
+            return
+        session.inner_bytes_in += len(inner_bytes)
+        self.deliver_inner(session, inner)
+
+    def deliver_inner(self, session: VpnSession, inner: IPv4Packet) -> None:
+        """Route a decrypted inner packet into the managed network."""
+        self.host.stack.inject(inner, self.tun)
+
+    def _session_tx(self, session: VpnSession, inner: IPv4Packet):
+        accepted, inner, middlebox_cost = self.session_packet_hook(session, inner, inbound=False)
+        inner_bytes = inner.serialize()
+        yield from self._charge(
+            server_egress_cost(self.model, len(inner_bytes), self.mode) + middlebox_cost
+        )
+        if not accepted:
+            return
+        session.inner_bytes_out += len(inner_bytes)
+        self._send_data(session, inner_bytes)
+
+    def _session_ping(self, session: VpnSession, packet: VpnPacket):
+        try:
+            ping = PingMessage.parse(packet.body, session.secrets.client_hmac)
+        except PingError:
+            self.packets_rejected += 1
+            return
+        yield from self._charge(self.model.vpn_server_fixed)
+        session.client_version = max(session.client_version, ping.config_version)
+        session.last_ping_time = self.sim.now
+        if not session.established:
+            session.established = True
+            self._send_session_config(session)
+            self.on_session_established(session)
+        self._send_ping(session)
+
+    def on_session_established(self, session: VpnSession) -> None:
+        """Hook: called once the client confirmed the handshake."""
+
+    # ------------------------------------------------------------------
+    # sending helpers
+    # ------------------------------------------------------------------
+    def _send_session_config(self, session: VpnSession) -> None:
+        body = json.dumps(
+            {
+                "tunnel_ip": str(session.tunnel_ip),
+                "server_tunnel_ip": str(self.server_tunnel_ip),
+                "subnet": str(self.tunnel_network),
+                "config_version": self.current_config_version,
+            }
+        ).encode()
+        tag = hmac_sha256(session.secrets.server_hmac, b"session-config", body)[:16]
+        self.sock.sendto(
+            VpnPacket(OP_SESSION_CONFIG, session.session_id, 0, body + tag).serialize(),
+            session.outer_addr,
+            session.outer_port,
+        )
+
+    def _send_ping(self, session: VpnSession) -> None:
+        ping = PingMessage(
+            config_version=self.current_config_version,
+            grace_period_s=self.grace_period_s,
+            timestamp_ns=int(self.sim.now * 1e9),
+        )
+        self.sock.sendto(
+            VpnPacket(
+                OP_PING, session.session_id, 0, ping.serialize(session.secrets.server_hmac)
+            ).serialize(),
+            session.outer_addr,
+            session.outer_port,
+        )
+
+    def _send_data(self, session: VpnSession, inner_bytes: bytes) -> None:
+        frag_id, pieces = session.fragmenter.split(inner_bytes)
+        for index, piece in enumerate(pieces):
+            packet = VpnPacket(
+                opcode=OP_DATA,
+                session_id=session.session_id,
+                packet_id=session.take_packet_id(),
+                frag_id=frag_id,
+                frag_index=index,
+                frag_count=len(pieces),
+            )
+            session.tx_channel.protect(packet, piece)
+            self.sock.sendto(packet.serialize(), session.outer_addr, session.outer_port)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def aggregate_inner_bytes(self) -> int:
+        """Total decrypted tunnel payload across all sessions."""
+        return sum(s.inner_bytes_in + s.inner_bytes_out for s in self.sessions_by_peer.values())
+
+
+class OpenVpnClient:
+    """The vanilla VPN client (one per client machine)."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_addr: IPv4Address,
+        identity_key: X25519PrivateKey,
+        certificate: Certificate,
+        ca_public_key: RsaPublicKey,
+        server_port: int = VPN_PORT,
+        server_name: str = "",
+        cost_model: Optional[CostModel] = None,
+        protection_mode: ProtectionMode = ProtectionMode.ENCRYPT_AND_MAC,
+        ping_interval: float = 1.0,
+        charge_cpu: bool = True,
+        config_version: int = 1,
+        tunnel_routes: Optional[List[str]] = None,
+        seed: bytes = b"vpn-client",
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.server_addr = IPv4Address(server_addr)
+        self.server_port = server_port
+        self.server_name = server_name
+        self.identity_key = identity_key
+        self.certificate = certificate
+        self.ca_public_key = ca_public_key
+        self.model = cost_model or default_cost_model()
+        self.mode = protection_mode
+        self.ping_interval = ping_interval
+        self.charge_cpu = charge_cpu
+        self.config_version = config_version
+        self.tunnel_routes = list(tunnel_routes or [])
+        self._drbg = HmacDrbg(seed + host.name.encode())
+        self.management = ManagementInterface(self.sim, self.model, host)
+        self.tun: Optional[TunDevice] = None
+        self.tunnel_ip: Optional[IPv4Address] = None
+        self.sock = None
+        self.session_id = 0
+        self.tx_channel: Optional[DataChannel] = None
+        self.rx_channel: Optional[DataChannel] = None
+        self.secrets: Optional[SessionSecrets] = None
+        self.replay = ReplayWindow()
+        self.reassembler = Reassembler()
+        self.fragmenter = Fragmenter()
+        self._next_packet_id = 1
+        self._control_inbox = FifoStore(self.sim, name=f"{host.name}.vpn-control")
+        self._work_inbox = FifoStore(self.sim, name=f"{host.name}.vpn-work")
+        self.connected_event = self.sim.event("vpn-connected")
+        self.inner_bytes_sent = 0
+        self.inner_bytes_received = 0
+        self.packets_rejected = 0
+        self.pings_received = 0
+        self.on_server_announcement: Optional[Callable[[PingMessage], None]] = None
+        self._started = False
+        # dead-peer detection (OpenVPN's keepalive/ping-restart behaviour)
+        self.dpd_timeout: float = 6.0 * ping_interval
+        self.last_server_rx: float = 0.0
+        self.reconnects = 0
+        self._reconnecting = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin connecting; processes run until the simulation ends."""
+        if self._started:
+            raise VpnError("client already started")
+        self._started = True
+        self.sock = self.host.stack.udp_socket()
+        self.sim.process(self._rx_dispatch(), name=f"{self.host.name}.vpn-rx")
+        self.sim.process(self._connect_loop(), name=f"{self.host.name}.vpn-connect")
+
+    def wait_connected(self):
+        """Event that fires when the tunnel is established."""
+        return self.connected_event
+
+    def _charge(self, seconds: float):
+        if self.charge_cpu and seconds > 0:
+            yield from self.host.execute(seconds)
+
+    # ------------------------------------------------------------------
+    # dispatch: one recv loop feeding control + worker queues
+    # ------------------------------------------------------------------
+    def _rx_dispatch(self):
+        while True:
+            payload, _src, _port, _ = yield self.sock.recv()
+            try:
+                packet = VpnPacket.parse(payload)
+            except ProtocolError:
+                continue
+            self.last_server_rx = self.sim.now
+            if packet.opcode in (OP_CONTROL_REPLY, OP_REJECT, OP_SESSION_CONFIG):
+                self._control_inbox.put(packet)
+            elif packet.opcode in (OP_DATA, OP_PING):
+                self._work_inbox.put(("rx", packet))
+
+    def _await_control(self, opcodes, timeout: float):
+        """Poll the control queue (robust against stale waiters)."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            packet = self._control_inbox.try_get()
+            if packet is not None:
+                if packet.opcode in opcodes:
+                    return packet
+                continue  # discard stale control messages
+            yield self.sim.timeout(0.005)
+        return None
+
+    # ------------------------------------------------------------------
+    # connection establishment
+    # ------------------------------------------------------------------
+    def _do_key_exchange(self, attempt_label: bytes):
+        """Process generator: run the control-channel handshake.
+
+        On success, installs fresh secrets/channels/windows and returns
+        the authenticated session-config dict; raises VpnError otherwise.
+        """
+        exchange = ClientKeyExchange(
+            self.identity_key,
+            self.certificate,
+            self.ca_public_key,
+            self._drbg.child(b"handshake-" + attempt_label),
+            server_name=self.server_name,
+        )
+        hello = exchange.hello(self.config_version)
+        reply = None
+        for _attempt in range(10):
+            yield from self._charge(self.model.asymmetric_op)
+            self.sock.sendto(
+                VpnPacket(OP_CONTROL_HELLO, 0, 0, hello).serialize(),
+                self.server_addr,
+                self.server_port,
+            )
+            reply = yield from self._await_control((OP_CONTROL_REPLY, OP_REJECT), timeout=1.0)
+            if reply is not None:
+                break
+        if reply is None:
+            raise VpnError("handshake timed out")
+        if reply.opcode == OP_REJECT:
+            raise VpnError(f"server rejected session: {reply.body.decode()}")
+        try:
+            exchange.process_reply(reply.body)
+        except HandshakeError as exc:
+            raise VpnError(str(exc)) from exc
+        self.secrets = exchange.secrets
+        self.session_id = reply.session_id
+        self.tx_channel = DataChannel(self.secrets.client_cipher, self.secrets.client_hmac, self.mode)
+        self.rx_channel = DataChannel(self.secrets.server_cipher, self.secrets.server_hmac, self.mode)
+        self.replay = ReplayWindow()
+        self.reassembler = Reassembler()
+        self._next_packet_id = 1
+        # the key-confirmation ping doubles as the client Finished message
+        self._send_ping()
+        config = yield from self._await_control((OP_SESSION_CONFIG,), timeout=2.0)
+        if config is None:
+            raise VpnError("no session config received")
+        body, tag = config.body[:-16], config.body[-16:]
+        if not hmac_verify(self.secrets.server_hmac, b"session-config" + body, tag):
+            raise VpnError("session config failed authentication")
+        return json.loads(body.decode())
+
+    def _connect_loop(self):
+        try:
+            settings = yield from self._do_key_exchange(b"initial")
+        except VpnError as exc:
+            self.connected_event.fail(exc)
+            return
+        self.tunnel_ip = IPv4Address(settings["tunnel_ip"])
+        subnet = IPv4Network(settings["subnet"])
+        # Pin a host route for the VPN server itself before any tunnel
+        # routes shadow the LAN (otherwise outer datagrams would loop
+        # into the tunnel) — what OpenVPN's redirect-gateway does.
+        physical = self.host.stack.route_for(self.server_addr)
+        self.tun = self.host.add_tun(self.tunnel_ip, subnet, name=f"{self.host.name}.tun0")
+        if physical is not None:
+            self.host.stack.add_route(f"{self.server_addr}/32", physical)
+        for route in self.tunnel_routes:
+            self.host.stack.add_route(route, self.tun)
+        self.host.stack.set_preferred_source(self.tunnel_ip)
+        self.on_connected(settings)
+        self.last_server_rx = self.sim.now
+        self.sim.process(self._tun_dispatch(), name=f"{self.host.name}.vpn-tun")
+        self.sim.process(self._worker(), name=f"{self.host.name}.vpn-worker")
+        self.sim.process(self._ping_loop(), name=f"{self.host.name}.vpn-ping")
+        self.sim.process(self._dpd_loop(), name=f"{self.host.name}.vpn-dpd")
+        self.connected_event.succeed(self)
+
+    # ------------------------------------------------------------------
+    # dead-peer detection (keepalive/ping-restart)
+    # ------------------------------------------------------------------
+    def _dpd_loop(self):
+        """Re-handshake when the server has been silent too long."""
+        while True:
+            yield self.sim.timeout(self.ping_interval)
+            silent_for = self.sim.now - self.last_server_rx
+            if silent_for < self.dpd_timeout or self._reconnecting:
+                continue
+            self._reconnecting = True
+            self.reconnects += 1
+            try:
+                settings = yield from self._do_key_exchange(
+                    b"reconnect-%d" % self.reconnects
+                )
+            except VpnError:
+                continue  # retry at the next DPD tick
+            finally:
+                self._reconnecting = False
+            new_ip = IPv4Address(settings["tunnel_ip"])
+            if new_ip != self.tunnel_ip and self.tun is not None:
+                # same peer endpoint normally keeps its address; if the
+                # server handed out a new one, re-home the TUN device
+                self.tunnel_ip = new_ip
+                self.tun.address = new_ip
+                self.host.stack.set_preferred_source(new_ip)
+            self.last_server_rx = self.sim.now
+            self.on_reconnected(settings)
+
+    def on_reconnected(self, settings: dict) -> None:
+        """Hook: called after a successful DPD-triggered re-handshake."""
+
+    def on_connected(self, settings: dict) -> None:
+        """Hook: subclasses install extra routes / state."""
+
+    # ------------------------------------------------------------------
+    # pipeline hooks (EndBox overrides these)
+    # ------------------------------------------------------------------
+    def process_egress(self, packet: IPv4Packet) -> Tuple[bool, IPv4Packet, float]:
+        """Per-packet egress hook; returns (accept, packet, cpu_seconds)."""
+        return True, packet, client_egress_cost(self.model, len(packet), self.mode)
+
+    def process_ingress(self, packet: IPv4Packet) -> Tuple[bool, IPv4Packet, float]:
+        """Completion work for one reassembled inner packet.
+
+        Per-datagram costs (recv, copy, crypto) were already charged as
+        the fragments arrived; this adds the packet-level remainder.
+        """
+        return True, packet, client_ingress_completion_cost(self.model, len(packet))
+
+    def fragment_crypto_mode(self):
+        """Protection mode charged per received datagram.
+
+        The vanilla client decrypts each datagram as it arrives;
+        EndBox returns None here because decryption happens inside the
+        enclave within the single per-packet ecall.
+        """
+        return self.mode
+
+    # ------------------------------------------------------------------
+    # data paths (single worker = single-threaded OpenVPN)
+    # ------------------------------------------------------------------
+    def _tun_dispatch(self):
+        while True:
+            inner = yield self.tun.read()
+            self._work_inbox.put(("tx", inner))
+
+    def _worker(self):
+        while True:
+            kind, item = yield self._work_inbox.get()
+            if kind == "tx":
+                yield from self._handle_egress(item)
+            elif isinstance(item, VpnPacket) and item.opcode == OP_DATA:
+                yield from self._handle_data(item)
+            else:
+                self._handle_ping(item)
+
+    def _handle_egress(self, inner: IPv4Packet):
+        accepted, inner, cost = self.process_egress(inner)
+        yield from self._charge(cost)
+        if not accepted:
+            return
+        inner_bytes = inner.serialize()
+        self.inner_bytes_sent += len(inner_bytes)
+        frag_id, pieces = self.fragmenter.split(inner_bytes)
+        for index, piece in enumerate(pieces):
+            packet = VpnPacket(
+                opcode=OP_DATA,
+                session_id=self.session_id,
+                packet_id=self._take_packet_id(),
+                frag_id=frag_id,
+                frag_index=index,
+                frag_count=len(pieces),
+            )
+            self.tx_channel.protect(packet, piece)
+            self.sock.sendto(packet.serialize(), self.server_addr, self.server_port)
+
+    def _take_packet_id(self) -> int:
+        packet_id = self._next_packet_id
+        self._next_packet_id += 1
+        return packet_id
+
+    def _handle_data(self, packet: VpnPacket):
+        if not self.replay.check_and_update(packet.packet_id):
+            self.packets_rejected += 1
+            return
+        try:
+            plaintext = self.rx_channel.unprotect(packet)
+        except ChannelError:
+            self.packets_rejected += 1
+            return
+        yield from self._charge(
+            ingress_fragment_cost(self.model, len(plaintext), self.fragment_crypto_mode())
+        )
+        inner_bytes = self.reassembler.add(
+            packet.session_id, packet.frag_id, packet.frag_index, packet.frag_count, plaintext
+        )
+        if inner_bytes is None:
+            return
+        try:
+            inner = parse_ipv4(inner_bytes)
+        except ValueError:
+            self.packets_rejected += 1
+            return
+        accepted, inner, cost = self.process_ingress(inner)
+        yield from self._charge(cost)
+        if not accepted:
+            return
+        self.inner_bytes_received += len(inner_bytes)
+        self.tun.write(inner)
+
+    def _handle_ping(self, packet: VpnPacket) -> None:
+        try:
+            ping = PingMessage.parse(packet.body, self.secrets.server_hmac)
+        except PingError:
+            self.packets_rejected += 1
+            return
+        self.pings_received += 1
+        if self.on_server_announcement is not None:
+            self.on_server_announcement(ping)
+
+    def _send_ping(self) -> None:
+        ping = PingMessage(
+            config_version=self.config_version,
+            grace_period_s=0.0,
+            timestamp_ns=int(self.sim.now * 1e9),
+        )
+        self.sock.sendto(
+            VpnPacket(
+                OP_PING, self.session_id, 0, ping.serialize(self.secrets.client_hmac)
+            ).serialize(),
+            self.server_addr,
+            self.server_port,
+        )
+
+    def _ping_loop(self):
+        while True:
+            yield self.sim.timeout(self.ping_interval)
+            self._send_ping()

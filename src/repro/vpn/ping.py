@@ -1,0 +1,50 @@
+"""Keepalive ping messages with EndBox's configuration fields (§III-E).
+
+OpenVPN peers exchange periodic in-band pings.  EndBox "extends the
+message format with two extra fields: the version number of the latest
+configuration file and its grace period".  Ping bodies are MAC'd with
+the session HMAC key, so malicious clients cannot craft or tamper with
+announcements — validation happens inside the enclave on the client.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.hmac import hmac_sha256, hmac_verify
+
+_FORMAT = struct.Struct(">QdQ")
+TAG_LEN = 16
+
+
+class PingError(ValueError):
+    """Malformed or unauthentic ping message."""
+
+
+@dataclass
+class PingMessage:
+    """A keepalive announcement.
+
+    ``config_version`` / ``grace_period_s`` implement EndBox's update
+    announcement; ``timestamp`` keeps the connection-liveness role.
+    """
+
+    config_version: int
+    grace_period_s: float
+    timestamp_ns: int = 0
+
+    def serialize(self, hmac_key: bytes) -> bytes:
+        """Serialize to wire bytes."""
+        body = _FORMAT.pack(self.config_version, self.grace_period_s, self.timestamp_ns)
+        return body + hmac_sha256(hmac_key, b"ping", body)[:TAG_LEN]
+
+    @classmethod
+    def parse(cls, data: bytes, hmac_key: bytes) -> "PingMessage":
+        if len(data) != _FORMAT.size + TAG_LEN:
+            raise PingError("bad ping length")
+        body, tag = data[: _FORMAT.size], data[_FORMAT.size :]
+        if not hmac_verify(hmac_key, b"ping" + body, tag):
+            raise PingError("ping failed authentication")
+        version, grace, timestamp = _FORMAT.unpack(body)
+        return cls(config_version=version, grace_period_s=grace, timestamp_ns=timestamp)

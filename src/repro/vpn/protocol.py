@@ -1,0 +1,77 @@
+"""VPN wire format.
+
+Every UDP datagram between client and server is one :class:`VpnPacket`::
+
+    opcode(1) | session_id(8) | packet_id(8) |
+    frag_id(4) | frag_index(2) | frag_count(2) | body
+
+``packet_id`` feeds replay protection; the fragment triple reassembles
+tunnel packets larger than the link MTU.  Control bodies are opcode
+specific; DATA bodies are ``ciphertext || hmac_tag``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+OP_DATA = 1
+OP_CONTROL_HELLO = 2
+OP_CONTROL_REPLY = 3
+OP_PING = 4
+OP_REJECT = 5
+
+_HEADER = struct.Struct(">BQQIHH")
+HEADER_LEN = _HEADER.size  # 25 bytes
+
+
+class ProtocolError(ValueError):
+    """Malformed VPN packet."""
+
+
+@dataclass
+class VpnPacket:
+    opcode: int
+    session_id: int
+    packet_id: int
+    body: bytes = b""
+    frag_id: int = 0
+    frag_index: int = 0
+    frag_count: int = 1
+
+    def serialize(self) -> bytes:
+        """Serialize to wire bytes."""
+        return (
+            _HEADER.pack(
+                self.opcode,
+                self.session_id,
+                self.packet_id,
+                self.frag_id,
+                self.frag_index,
+                self.frag_count,
+            )
+            + self.body
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "VpnPacket":
+        if len(data) < HEADER_LEN:
+            raise ProtocolError("truncated VPN packet")
+        opcode, session_id, packet_id, frag_id, frag_index, frag_count = _HEADER.unpack_from(data)
+        if frag_count < 1 or frag_index >= frag_count:
+            raise ProtocolError("invalid fragment fields")
+        return cls(
+            opcode=opcode,
+            session_id=session_id,
+            packet_id=packet_id,
+            body=data[HEADER_LEN:],
+            frag_id=frag_id,
+            frag_index=frag_index,
+            frag_count=frag_count,
+        )
+
+    def auth_header(self) -> bytes:
+        """The header bytes covered by the data-channel MAC."""
+        return _HEADER.pack(
+            self.opcode, self.session_id, self.packet_id, self.frag_id, self.frag_index, self.frag_count
+        )

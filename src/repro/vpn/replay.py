@@ -1,0 +1,53 @@
+"""Replay protection: the sliding-window scheme OpenVPN uses.
+
+Packet ids increase monotonically per direction.  The window accepts the
+highest id seen so far plus a 64-entry bitmap of recent ids below it;
+anything older than the window or already seen is rejected — which is
+what defeats the traffic-replay attack of §V-A.
+"""
+
+from __future__ import annotations
+
+
+class ReplayWindow:
+    """64-bit sliding window over packet ids."""
+
+    def __init__(self, size: int = 64) -> None:
+        if size < 1:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._top = 0  # highest id accepted
+        self._bitmap = 0  # bit i => (top - i) seen
+        self.accepted = 0
+        self.rejected = 0
+
+    def check_and_update(self, packet_id: int) -> bool:
+        """True if ``packet_id`` is fresh; records it when accepted."""
+        if packet_id <= 0:
+            self.rejected += 1
+            return False
+        if packet_id > self._top:
+            shift = packet_id - self._top
+            self._bitmap = ((self._bitmap << shift) | 1) & ((1 << self.size) - 1)
+            self._top = packet_id
+            self.accepted += 1
+            return True
+        offset = self._top - packet_id
+        if offset >= self.size:
+            self.rejected += 1  # too old
+            return False
+        if self._bitmap & (1 << offset):
+            self.rejected += 1  # duplicate
+            return False
+        self._bitmap |= 1 << offset
+        self.accepted += 1
+        return True
+
+    def would_accept(self, packet_id: int) -> bool:
+        """Check without mutating (diagnostics)."""
+        if packet_id <= 0:
+            return False
+        if packet_id > self._top:
+            return True
+        offset = self._top - packet_id
+        return offset < self.size and not self._bitmap & (1 << offset)

@@ -1,0 +1,78 @@
+"""Click configuration language parser tests."""
+
+import pytest
+
+from repro.click import ClickSyntaxError, parse_config
+
+
+def test_declaration_and_connection():
+    parsed = parse_config("a :: Counter();\nb :: Discard();\na -> b;")
+    assert [d.name for d in parsed.declarations] == ["a", "b"]
+    assert len(parsed.connections) == 1
+    conn = parsed.connections[0]
+    assert (conn.src, conn.src_port, conn.dst, conn.dst_port) == ("a", 0, "b", 0)
+
+
+def test_declaration_with_arguments():
+    parsed = parse_config('f :: IPFilter(allow all, deny dst port 23);')
+    assert parsed.declarations[0].args == ["allow all", "deny dst port 23"]
+
+
+def test_nested_parentheses_in_arguments():
+    parsed = parse_config("x :: Foo(fn(1,2), bar);")
+    assert parsed.declarations[0].args == ["fn(1,2)", "bar"]
+
+
+def test_chain_of_three():
+    parsed = parse_config("a :: Counter(); b :: Counter(); c :: Discard(); a -> b -> c;")
+    assert len(parsed.connections) == 2
+
+
+def test_explicit_ports():
+    parsed = parse_config("rr :: RoundRobinSwitch(); t :: ToDevice(); rr[1] -> [0]t;")
+    conn = parsed.connections[0]
+    assert conn.src_port == 1 and conn.dst_port == 0
+
+
+def test_anonymous_elements_in_chain():
+    parsed = parse_config("a :: FromDevice(); a -> Counter() -> ToDevice();")
+    classes = sorted(d.class_name for d in parsed.declarations)
+    assert classes == ["Counter", "FromDevice", "ToDevice"]
+    assert len(parsed.connections) == 2
+
+
+def test_comments_stripped():
+    parsed = parse_config(
+        "// line comment\n/* block\ncomment */ a :: Counter(); a -> Discard(); // tail"
+    )
+    assert len(parsed.declarations) == 2  # Counter + anonymous Discard
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(ClickSyntaxError):
+        parse_config("a :: Counter(); a :: Counter();")
+
+
+def test_undeclared_element_in_connection_rejected():
+    with pytest.raises(ClickSyntaxError):
+        parse_config("a :: Counter(); a -> ghost;")
+
+
+def test_unbalanced_parentheses_rejected():
+    with pytest.raises(ClickSyntaxError):
+        parse_config("a :: Counter(oops;")
+
+
+def test_dangling_arrow_rejected():
+    with pytest.raises(ClickSyntaxError):
+        parse_config("a :: Counter(); a ->;")
+
+
+def test_garbage_statement_rejected():
+    with pytest.raises(ClickSyntaxError):
+        parse_config("what is this")
+
+
+def test_quoted_strings_protect_separators():
+    parsed = parse_config('i :: IDSMatcher("alert tcp any any -> any 80 (msg:\\"a;b\\"; sid:1;)");')
+    assert len(parsed.declarations) == 1

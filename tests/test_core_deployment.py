@@ -1,0 +1,258 @@
+"""Integration tests of the full EndBox deployment (scenarios)."""
+
+import pytest
+
+from repro.click import configs as click_configs
+from repro.core import build_deployment
+from repro.ids.community_rules import ruleset_text
+from repro.netsim.packet import ENDBOX_PROCESSED_TOS
+from repro.netsim.traffic import UdpSink, UdpTrafficSource
+
+
+@pytest.fixture(scope="module")
+def connected_world():
+    """One EndBox SGX client, NOP config, fully connected (module-scoped:
+    deployments are expensive to provision)."""
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
+    world.connect_all()
+    return world
+
+
+def test_endbox_client_connects_with_attested_cert(connected_world):
+    world = connected_world
+    client = world.clients[0]
+    assert client.tunnel_ip is not None
+    session = next(iter(world.server.sessions_by_peer.values()))
+    assert session.certificate.subject.startswith("endbox:")
+
+
+def test_traffic_flows_and_click_processes(connected_world):
+    world = connected_world
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 5201)
+    source = UdpTrafficSource(client.host, world.internal.address, 5201, rate_bps=2e6, packet_bytes=500)
+    source.start()
+    world.sim.run(until=world.sim.now + 0.2)
+    source.stop()
+    world.sim.run(until=world.sim.now + 0.2)
+    assert sink.packets > 10
+    assert client.endbox.gateway.ecall_count > 10  # one ecall per packet
+
+
+def test_bypass_attempt_blocked_by_static_firewall(connected_world):
+    world = connected_world
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 5305)
+    # malicious app sends directly from the physical address, skipping the tun
+    from repro.netsim.packet import IPv4Packet, UdpDatagram
+
+    nic_addr = client.host.stack.interfaces[0].address
+    direct = IPv4Packet(src=nic_addr, dst=world.internal.address, l4=UdpDatagram(1234, 5305, b"bypass"))
+    nic = client.host.stack.interfaces[0]
+    nic.send(direct.serialize())
+    world.sim.run(until=world.sim.now + 0.1)
+    assert sink.packets == 0  # the VPN-only firewall dropped it
+
+
+def test_firewall_use_case_blocks_in_enclave():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="FW")
+    world.connect_all()
+    client = world.clients[0]
+    sink_allowed = UdpSink(world.internal, 8080)
+    sink_blocked = UdpSink(world.internal, 23)
+    src_allowed = UdpTrafficSource(client.host, world.internal.address, 8080, rate_bps=1e6, packet_bytes=300)
+    src_blocked = UdpTrafficSource(client.host, world.internal.address, 23, rate_bps=1e6, packet_bytes=300)
+    src_allowed.start()
+    src_blocked.start()
+    world.sim.run(until=world.sim.now + 0.2)
+    assert sink_allowed.packets > 0
+    assert sink_blocked.packets == 0
+    assert client.packets_dropped_by_click > 0
+
+
+def test_idps_use_case_drops_matching_traffic():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="IDPS")
+    world.connect_all()
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 5001)
+    clean = UdpTrafficSource(client.host, world.internal.address, 5001, rate_bps=1e6, packet_bytes=300)
+    clean.start()
+    world.sim.run(until=world.sim.now + 0.1)
+    clean_packets = sink.packets
+    assert clean_packets > 0
+    # now send an attack payload matching a community rule via TCP port 80
+
+    def attack():
+        from repro.netsim.packet import IPv4Packet, TcpSegment
+
+        packet = IPv4Packet(
+            src=client.tunnel_ip,
+            dst=world.internal.address,
+            l4=TcpSegment(40000, 80, payload=b"GET /etc/passwd HTTP/1.1"),
+        )
+        client.host.stack.send_packet(packet)
+        yield world.sim.timeout(0)
+
+    world.sim.process(attack())
+    world.sim.run(until=world.sim.now + 0.1)
+    assert client.packets_dropped_by_click >= 1
+
+
+def test_client_to_client_flagging_skips_second_click():
+    world = build_deployment(n_clients=2, setup="endbox_sgx", use_case="IDPS")
+    world.connect_all()
+    a, b = world.clients
+    received = []
+
+    def receiver():
+        sock = b.host.stack.udp_socket(9100, address=b.tunnel_ip)
+        payload, _src, _port, packet = yield sock.recv()
+        received.append(packet)
+
+    def sender():
+        sock = a.host.stack.udp_socket()
+        sock.sendto(b"peer to peer", b.tunnel_ip, 9100)
+        yield world.sim.timeout(0)
+
+    b_clicks_before = int(b.click_handler("ids", "matched"))
+    b_router = b.endbox.enclave.trusted_state["click"].router
+    processed_before = b_router.packets_processed
+    world.sim.process(receiver())
+    world.sim.process(sender())
+    world.sim.run(until=world.sim.now + 0.5)
+    assert received, "c2c packet not delivered"
+    # the packet still carries the flag and B's Click never saw it
+    assert received[0].tos == ENDBOX_PROCESSED_TOS
+    assert b_router.packets_processed == processed_before
+
+
+def test_outside_attacker_cannot_forge_the_flag():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", protect_internal=False)
+    world.connect_all()
+    client = world.clients[0]
+    # an internal host (outside the tunnel) sends a flagged packet toward
+    # the client; the EndBox server must strip the flag when forwarding
+    received = []
+
+    def receiver():
+        sock = client.host.stack.udp_socket(9200, address=client.tunnel_ip)
+        _payload, _src, _port, packet = yield sock.recv()
+        received.append(packet)
+
+    def attacker():
+        sock = world.internal.stack.udp_socket()
+        sock.sendto(b"evil", client.tunnel_ip, 9200, tos=ENDBOX_PROCESSED_TOS)
+        yield world.sim.timeout(0)
+
+    world.sim.process(receiver())
+    world.sim.process(attacker())
+    world.sim.run(until=world.sim.now + 0.5)
+    assert received
+    assert received[0].tos != ENDBOX_PROCESSED_TOS
+    assert world.server.flags_stripped >= 1
+
+
+def test_config_update_full_loop():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.2)
+    world.connect_all()
+    client = world.clients[0]
+    # Fig 5 steps 1-2: publish a firewall config as version 2
+    bundle = world.publisher.build_bundle(
+        2,
+        "f :: FromDevice(); fw :: IPFilter(deny dst port 23, allow all); t :: ToDevice(); f -> fw -> t;",
+        encrypt=True,
+    )
+    world.publisher.publish(bundle, world.config_server, world.server, grace_period_s=5.0)
+    world.sim.run(until=world.sim.now + 3.0)
+    # steps 5-9 happened: client fetched, applied, confirmed
+    assert client.config_version == 2
+    assert client.update_timings and client.update_timings[0].version == 2
+    session = next(iter(world.server.sessions_by_peer.values()))
+    assert session.client_version == 2
+    # the new configuration is live in the enclave
+    accepted, _ = client.endbox.gateway.ecall(
+        "process_packet",
+        __import__("repro.netsim.packet", fromlist=["IPv4Packet"]).IPv4Packet(
+            src=client.tunnel_ip, dst=world.internal.address,
+            l4=__import__("repro.netsim.packet", fromlist=["UdpDatagram"]).UdpDatagram(1, 23, b"x"),
+        ),
+        "egress",
+        "encrypt+mac",
+        True,
+    )
+    assert not accepted
+
+
+def test_stale_client_blocked_after_grace_and_reconnect_gated():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5)
+    world.connect_all()
+    client = world.clients[0]
+    # no config server: the client cannot update; version 2 announced
+    world.server.announce_config(2, grace_period_s=0.5)
+    sink = UdpSink(world.internal, 5400)
+    source = UdpTrafficSource(client.host, world.internal.address, 5400, rate_bps=1e6, packet_bytes=300)
+    source.start()
+    world.sim.run(until=world.sim.now + 0.3)
+    in_grace = sink.packets
+    world.sim.run(until=world.sim.now + 2.0)
+    source.stop()
+    after_grace_start = sink.packets
+    world.sim.run(until=world.sim.now + 1.0)
+    assert in_grace > 0
+    # traffic stopped flowing once the grace period expired
+    assert sink.packets == after_grace_start
+    session = next(iter(world.server.sessions_by_peer.values()))
+    assert session.packets_dropped_policy > 0
+    # and a reconnect with the stale version is refused outright
+    assert not world.server.admit_session(session.certificate, client_version=1)
+
+
+def test_vanilla_client_cannot_join_endbox_deployment():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
+    from repro.crypto.drbg import HmacDrbg
+    from repro.crypto.x25519 import X25519PrivateKey
+    from repro.netsim.host import class_a_host
+    from repro.vpn.openvpn import OpenVpnClient
+
+    host = class_a_host(world.sim, "interloper")
+    world.topo.attach(host)
+    key = X25519PrivateKey(HmacDrbg(b"ik").generate(32))
+    cert = world.ca.issue_server_certificate("interloper", key.public_bytes)  # not attested
+    rogue = OpenVpnClient(
+        host, world.server_host.address, key, cert, world.ca.public_key, server_name="vpn-server"
+    )
+    rogue.start()
+    world.connect_all()
+    world.sim.run(until=world.sim.now + 3.0)
+    assert rogue.connected_event.triggered
+    assert rogue.connected_event.exception is not None
+    assert world.server.admissions_denied >= 1
+
+
+def test_isp_scenario_mac_only_mode():
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="NOP", scenario="isp", isp_no_encryption=True
+    )
+    world.connect_all()
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 5500)
+    source = UdpTrafficSource(client.host, world.internal.address, 5500, rate_bps=1e6, packet_bytes=300)
+    source.start()
+    world.sim.run(until=world.sim.now + 0.2)
+    assert sink.packets > 0
+    from repro.vpn.channel import ProtectionMode
+
+    assert client.mode is ProtectionMode.MAC_ONLY
+
+
+def test_openvpn_click_setup_processes_server_side():
+    world = build_deployment(n_clients=1, setup="openvpn_click", use_case="FW")
+    world.connect_all()
+    client = world.clients[0]
+    sink_ok = UdpSink(world.internal, 8080)
+    sink_blocked = UdpSink(world.internal, 23)
+    UdpTrafficSource(client.host, world.internal.address, 8080, rate_bps=1e6, packet_bytes=300).start()
+    UdpTrafficSource(client.host, world.internal.address, 23, rate_bps=1e6, packet_bytes=300).start()
+    world.sim.run(until=world.sim.now + 0.2)
+    assert sink_ok.packets > 0
+    assert sink_blocked.packets == 0  # dropped by the server-side Click

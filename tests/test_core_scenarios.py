@@ -1,0 +1,101 @@
+"""Deployment-builder coverage across setups, use cases and scenarios."""
+
+import pytest
+
+from repro.core import build_deployment
+from repro.core.endbox_client import EndBoxClient
+from repro.core.endbox_server import EndBoxServer
+from repro.core.scenarios import SETUPS, _use_case_configs
+from repro.netsim.traffic import UdpSink, UdpTrafficSource
+from repro.sgx.enclave import EnclaveMode
+from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer
+
+
+def test_invalid_setup_and_scenario_rejected():
+    with pytest.raises(ValueError):
+        build_deployment(setup="mystery")
+    with pytest.raises(ValueError):
+        build_deployment(scenario="casino")
+    with pytest.raises(ValueError):
+        _use_case_configs("JUGGLE", server_side=False)
+
+
+def test_every_use_case_builds_client_configs():
+    for use_case in ("NOP", "LB", "FW", "IDPS", "DDoS"):
+        config, rules = _use_case_configs(use_case, server_side=False)
+        assert "FromDevice" in config and "ToDevice" in config
+        if use_case in ("IDPS", "DDoS"):
+            assert rules
+    server_ddos, _ = _use_case_configs("DDoS", server_side=True)
+    assert "UntrustedSplitter" in server_ddos
+
+
+def test_endbox_sim_mode_uses_simulation_enclaves():
+    world = build_deployment(n_clients=1, setup="endbox_sim", use_case="NOP", with_config_server=False)
+    assert world.enclaves[0].enclave.mode is EnclaveMode.SIMULATION
+    world.connect_all()
+    assert isinstance(world.clients[0], EndBoxClient)
+    assert isinstance(world.server, EndBoxServer)
+
+
+def test_vanilla_setup_builds_plain_openvpn():
+    world = build_deployment(n_clients=2, setup="vanilla", use_case="NOP", with_config_server=False)
+    assert type(world.clients[0]) is OpenVpnClient
+    assert type(world.server) is OpenVpnServer
+    assert not world.enclaves
+    world.connect_all()
+    assert all(c.tunnel_ip is not None for c in world.clients)
+
+
+def test_openvpn_click_attaches_middlebox_per_session():
+    world = build_deployment(n_clients=2, setup="openvpn_click", use_case="FW", with_config_server=False)
+    world.connect_all()
+    sessions = list(world.server.sessions_by_peer.values())
+    assert len(sessions) == 2
+    assert all(s.middlebox is not None for s in sessions)
+    routers = {id(s.middlebox[0]) for s in sessions}
+    assert len(routers) == 2  # one Click instance per session
+
+
+def test_oversubscription_set_for_click_server():
+    world = build_deployment(n_clients=10, setup="openvpn_click", use_case="NOP", with_config_server=False)
+    assert world.server.oversubscription == pytest.approx(2 * 10 - 5)
+    vanilla = build_deployment(n_clients=10, setup="vanilla", use_case="NOP", with_config_server=False)
+    assert vanilla.server.oversubscription == 0.0
+
+
+def test_lb_use_case_traffic_flows_end_to_end():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="LB", with_config_server=False)
+    world.connect_all()
+    sink = UdpSink(world.internal, 7100)
+    UdpTrafficSource(world.clients[0].host, world.internal.address, 7100, rate_bps=2e6, packet_bytes=500).start()
+    world.sim.run(until=world.sim.now + 0.2)
+    assert sink.packets > 10
+
+
+def test_ddos_use_case_shapes_flood_at_client():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="DDoS", with_config_server=False)
+    world.connect_all()
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 7200)
+    # the default DDoS config allows 1 Gbps; offer far more than the
+    # burst so the splitter engages (clock sampled sparsely)
+    UdpTrafficSource(client.host, world.internal.address, 7200, rate_bps=3e9, packet_bytes=1500).start()
+    world.sim.run(until=world.sim.now + 0.4)
+    shaped = int(client.click_handler("shape", "shaped"))
+    assert shaped > 0
+
+
+def test_deployment_exposes_accessors():
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=True)
+    assert world.internal is world.internal_hosts[0]
+    assert world.config_server is not None
+    assert world.config_server.latest_version is None
+    assert world.setup == "endbox_sgx"
+    assert set(SETUPS) >= {"vanilla", "endbox_sgx"}
+
+
+def test_clients_live_on_their_own_subnet():
+    world = build_deployment(n_clients=2, setup="vanilla", use_case="NOP", with_config_server=False)
+    for index, host in enumerate(world.client_hosts):
+        assert str(host.stack.interfaces[0].address) == f"10.0.1.{index + 1}"

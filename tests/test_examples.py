@@ -1,0 +1,31 @@
+"""Smoke-run the fast example scripts (they contain their own asserts)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_example(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "EndBox enforced the firewall on the client" in out
+
+
+def test_enterprise_example(capsys):
+    run_example("enterprise_network.py")
+    out = capsys.readouterr().out
+    assert "enterprise scenario complete" in out
+
+
+def test_wan_optimization_example(capsys):
+    run_example("wan_optimization.py")
+    out = capsys.readouterr().out
+    assert "WAN optimisation complete" in out

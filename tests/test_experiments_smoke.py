@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment harness with miniature parameters.
+
+The full regenerations live in ``benchmarks/``; these tests verify the
+harness machinery (deployment wiring, measurement windows, result
+formatting, paper-value bookkeeping) quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig7_redirection,
+    fig8_packet_size,
+    fig9_functions,
+    fig10_scalability,
+    fig11_reconfig_latency,
+    optimizations,
+    table2_reconfig,
+)
+from repro.experiments.common import format_table, relative_error
+
+
+def test_fig8_single_point():
+    result = fig8_packet_size.run(sizes=(1500,), setups=("vanilla",), duration=0.03)
+    mbps = result.measured["vanilla OpenVPN"][1500]
+    assert abs(mbps - 813) / 813 < 0.15
+    text = result.to_text()
+    assert "vanilla OpenVPN" in text and "1500" in text
+
+
+def test_fig9_single_point():
+    result = fig9_functions.run(use_cases=("FW",), setups=("endbox_sgx",), duration=0.03)
+    mbps = result.measured["EndBox SGX"]["FW"]
+    assert abs(mbps - 527) / 527 < 0.20
+
+
+def test_fig10a_small_grid():
+    result = fig10_scalability.run_fig10a(
+        counts=(1, 5), setups=("vanilla",), duration=0.015, warmup=0.01
+    )
+    series = result.throughput_gbps["vanilla OpenVPN"]
+    assert series[1] == pytest.approx(0.2, rel=0.15)
+    assert series[5] == pytest.approx(1.0, rel=0.15)
+    assert "server CPU" in result.to_text()
+
+
+def test_fig10b_speedup_helper():
+    result = fig10_scalability.run_fig10b(
+        counts=(5,), use_cases=("FW",), duration=0.015, warmup=0.01
+    )
+    # below saturation both serve the offered load -> ratio ~1
+    ratio = fig10_scalability.speedup_at(result, 5, "FW")
+    assert ratio == pytest.approx(1.0, rel=0.1)
+    assert fig10_scalability.speedup_at(result, 99, "FW") is None
+
+
+def test_fig7_subset():
+    result = fig7_redirection.run(methods=("no redirection", "AWS us-east"))
+    assert result.measured["no redirection"] == pytest.approx(10.8, rel=0.05)
+    assert result.measured["AWS us-east"] == pytest.approx(202.3, rel=0.05)
+
+
+def test_table2_result_structure():
+    result = table2_reconfig.run()
+    assert 0.2 < result.endbox_vs_vanilla_hotswap < 0.45
+    assert result.measured["EndBox"]["total"] == pytest.approx(
+        sum(result.measured["EndBox"][p] for p in ("fetch", "decryption", "hotswap"))
+    )
+
+
+def test_fig11_loses_exactly_one_ping():
+    result = fig11_reconfig_latency.run()
+    assert result.lost("EndBox") == 1
+    assert result.lost("OpenVPN+Click") == 1
+
+
+def test_optimizations_isp_gain():
+    _enc, _mac, gain = optimizations.run_isp_no_encryption()
+    assert 0.05 < gain < 0.20
+
+
+def test_format_helpers():
+    table = format_table(["a", "bb"], [["1", "2"], ["3", "4"]], title="T")
+    assert table.splitlines()[0] == "T"
+    assert relative_error(110, 100) == "+10%"
+    assert relative_error(1, 0) == "n/a"
+
+
+def test_experiments_are_deterministic():
+    """Same seed, same deployment, bit-identical measured throughput."""
+    results = []
+    for _ in range(2):
+        result = fig8_packet_size.run(sizes=(1500,), setups=("endbox_sgx",), duration=0.02)
+        results.append(result.measured["EndBox SGX"][1500])
+    assert results[0] == results[1]

@@ -1,0 +1,118 @@
+"""Failure injection: lossy links, remote (WAN) clients, recovery paths."""
+
+import pytest
+
+from repro.core import build_deployment
+from repro.netsim import StarTopology
+from repro.netsim.host import class_a_host, class_b_host
+from repro.netsim.traffic import UdpSink, UdpTrafficSource
+from repro.sim import Simulator
+
+
+def lossy_pair(loss_rate):
+    sim = Simulator()
+    topo = StarTopology(sim)
+    a = class_a_host(sim, "a")
+    b = class_b_host(sim, "b")
+    topo.attach(a)
+    topo.attach(b)
+    a.stack.interfaces[0].link.set_loss_rate(loss_rate)
+    return sim, a, b
+
+
+def test_lossy_link_drops_udp_proportionally():
+    sim, a, b = lossy_pair(0.2)
+    sink = UdpSink(b, 5000)
+    UdpTrafficSource(a, b.address, 5000, rate_bps=8e6, packet_bytes=1000).start()
+    sim.run(until=1.0)
+    # ~1000 packets offered, ~20% lost on the first hop
+    assert 600 < sink.packets < 950
+    assert a.stack.interfaces[0].link.frames_lost > 50
+
+
+def test_tcp_bulk_transfer_survives_loss():
+    sim, a, b = lossy_pair(0.05)
+    blob = bytes(range(256)) * 256  # 64 KiB
+    received = []
+
+    def server():
+        listener = b.stack.tcp.listen(9000)
+        conn = yield listener.accept()
+        data = yield sim.process(conn.read_exactly(len(blob)))
+        received.append(data)
+
+    def client():
+        conn = yield sim.process(a.stack.tcp.connect(b.address, 9000))
+        conn.send(blob)
+        yield sim.process(conn.drain())
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=60.0)
+    assert received and received[0] == blob  # retransmission healed every hole
+
+
+def test_lossy_runs_are_deterministic():
+    results = []
+    for _ in range(2):
+        sim, a, b = lossy_pair(0.1)
+        sink = UdpSink(b, 5000)
+        UdpTrafficSource(a, b.address, 5000, rate_bps=8e6, packet_bytes=1000).start()
+        sim.run(until=0.5)
+        results.append(sink.packets)
+    assert results[0] == results[1]
+
+
+def test_vpn_tolerates_lossy_client_uplink():
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False
+    )
+    world.connect_all()
+    client = world.clients[0]
+    client.host.stack.interfaces[0].link.set_loss_rate(0.1)
+    sink = UdpSink(world.internal, 6100)
+    UdpTrafficSource(client.host, world.internal.address, 6100, rate_bps=4e6, packet_bytes=500).start()
+    world.sim.run(until=world.sim.now + 0.5)
+    # UDP through the tunnel: most packets arrive, losses do not wedge
+    # the session (replay window tolerates gaps)
+    assert sink.packets > 200
+    assert world.server.packets_rejected == 0  # loss is not "rejection"
+
+
+def test_remote_employee_connects_over_wan():
+    """§II-A scenario 1: clients may 'join the network remotely'."""
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False
+    )
+    # home-office link: 25 ms one way, 50 Mbps, a little loss
+    link = world.client_hosts[0].stack.interfaces[0].link
+    link.latency_s = 25e-3
+    link.bandwidth_bps = 50e6
+    link.set_loss_rate(0.01)
+    world.connect_all(until=30.0)
+    client = world.clients[0]
+    assert client.tunnel_ip is not None
+    sink = UdpSink(world.internal, 6200)
+    UdpTrafficSource(client.host, world.internal.address, 6200, rate_bps=2e6, packet_bytes=600).start()
+    world.sim.run(until=world.sim.now + 1.0)
+    assert sink.packets > 200
+    # the firewall still runs in the remote client's enclave
+    blocked = UdpSink(world.internal, 23)
+    UdpTrafficSource(client.host, world.internal.address, 23, rate_bps=2e6, packet_bytes=600).start()
+    world.sim.run(until=world.sim.now + 0.5)
+    assert blocked.packets == 0
+
+
+def test_config_update_survives_lossy_wan():
+    from repro.click import configs as click_configs
+
+    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25)
+    link = world.client_hosts[0].stack.interfaces[0].link
+    link.latency_s = 25e-3
+    link.set_loss_rate(0.03)
+    world.connect_all(until=30.0)
+    client = world.clients[0]
+    bundle = world.publisher.build_bundle(2, click_configs.firewall_config(), encrypt=True)
+    world.publisher.publish(bundle, world.config_server, world.server, grace_period_s=30.0)
+    world.sim.run(until=world.sim.now + 10.0)
+    assert client.config_version == 2  # HTTP-over-TCP fetch retries healed losses

@@ -1,0 +1,43 @@
+"""CLI runner tests (argument handling; one real quick experiment)."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+def test_list_prints_experiment_names(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])
+
+
+def test_single_experiment_runs_and_writes_report(tmp_path, capsys):
+    report = tmp_path / "report.md"
+    assert main(["fig7", "-o", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "## fig7" in out
+    assert "AWS us-east" in out
+    content = report.read_text()
+    assert "no redirection" in content
+
+
+def test_registry_is_complete():
+    assert set(EXPERIMENTS) == {
+        "fig6",
+        "fig7",
+        "table1",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table2",
+        "fig11",
+        "optimizations",
+        "ablation-consensus",
+        "ablation-epc",
+    }

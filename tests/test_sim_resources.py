@@ -1,0 +1,204 @@
+"""Unit tests for resources: counting resource, CPU cores, FIFO store."""
+
+import pytest
+
+from repro.sim import CpuCores, FifoStore, Resource, Simulator, SimulationError
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def worker(name):
+        yield res.request()
+        grants.append((sim.now, name))
+        yield sim.timeout(1.0)
+        res.release()
+
+    for name in "abc":
+        sim.process(worker(name))
+    sim.run()
+    assert grants == [(0.0, "a"), (0.0, "b"), (1.0, "c")]
+
+
+def test_resource_release_without_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(name):
+        yield res.request()
+        order.append(name)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for name in "abcd":
+        sim.process(worker(name))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_cpu_executes_work_serially_on_one_core():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=1, ht_factor=1.0)
+    done = []
+
+    def job(name):
+        yield sim.process(cpu.execute(2.0))
+        done.append((sim.now, name))
+
+    sim.process(job("a"))
+    sim.process(job("b"))
+    sim.run()
+    assert done == [(2.0, "a"), (4.0, "b")]
+
+
+def test_cpu_parallelism_matches_effective_cores():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=2, ht_factor=1.0)
+    done = []
+
+    def job():
+        yield sim.process(cpu.execute(1.0))
+        done.append(sim.now)
+
+    for _ in range(4):
+        sim.process(job())
+    sim.run()
+    assert done == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_cpu_ht_factor_increases_capacity():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=4, ht_factor=1.5)
+    assert cpu.effective_cores == 6
+
+
+def test_cpu_utilisation_accounting():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=1, ht_factor=1.0)
+
+    def job():
+        yield sim.process(cpu.execute(3.0))
+
+    cpu.reset_window()
+    sim.process(job())
+    sim.run(until=6.0)
+    assert cpu.utilisation() == pytest.approx(0.5)
+
+
+def test_cpu_context_switch_penalty_when_oversubscribed():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=1, ht_factor=1.0, context_switch_cost=0.5)
+    done = []
+
+    def job(name):
+        yield sim.process(cpu.execute(1.0))
+        done.append((sim.now, name))
+
+    sim.process(job("a"))
+    sim.process(job("b"))
+    sim.run()
+    # "a" saw a free pool (no penalty); "b" queued behind it (penalty).
+    assert done == [(1.0, "a"), (2.5, "b")]
+
+
+def test_cpu_rejects_negative_duration():
+    sim = Simulator()
+    cpu = CpuCores(sim, cores=1)
+
+    def job():
+        yield sim.process(cpu.execute(-1.0))
+
+    proc = sim.process(job())
+    sim.run()
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_fifo_store_put_then_get():
+    sim = Simulator()
+    store = FifoStore(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["x"]
+
+
+def test_fifo_store_preserves_order():
+    sim = Simulator()
+    store = FifoStore(sim)
+    for item in [1, 2, 3]:
+        store.put(item)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_fifo_store_bounded_blocks_putter():
+    sim = Simulator()
+    store = FifoStore(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield store.put("a")
+        timeline.append(("put-a", sim.now))
+        yield store.put("b")
+        timeline.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        item = yield store.get()
+        timeline.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in timeline
+    assert ("put-b", 5.0) in timeline
+
+
+def test_fifo_try_get_nonblocking():
+    sim = Simulator()
+    store = FifoStore(sim)
+    assert store.try_get() is None
+    store.put(7)
+    assert store.try_get() == 7
+    assert len(store) == 0
+
+
+def test_seeded_rng_deterministic_and_namespaced():
+    from repro.sim import SeededRng
+
+    a = SeededRng(1).child("x")
+    b = SeededRng(1).child("x")
+    c = SeededRng(1).child("y")
+    seq_a = [a.random() for _ in range(5)]
+    seq_b = [b.random() for _ in range(5)]
+    seq_c = [c.random() for _ in range(5)]
+    assert seq_a == seq_b
+    assert seq_a != seq_c

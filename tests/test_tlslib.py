@@ -1,0 +1,213 @@
+"""TLS library tests: records, handshake, sessions, key export, downgrade."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.netsim import StarTopology
+from repro.netsim.host import class_a_host
+from repro.sim import Simulator
+from repro.tlslib import TlsAlert, TlsKeyRegistry, TlsLibrary, TlsSession, TlsVersion
+from repro.tlslib.handshake import ClientHandshake, ServerHandshake, derive_session_keys
+from repro.tlslib.record import (
+    TYPE_APPLICATION_DATA,
+    RecordError,
+    RecordProtection,
+    TlsRecord,
+    parse_records,
+)
+
+
+# ----------------------------------------------------------------------
+# record layer
+# ----------------------------------------------------------------------
+def test_record_parse_and_serialize():
+    record = TlsRecord(TYPE_APPLICATION_DATA, 0x0303, b"hello")
+    records, tail = parse_records(record.serialize() + b"\x17")
+    assert len(records) == 1 and records[0].body == b"hello"
+    assert tail == b"\x17"
+
+
+def test_record_partial_buffer_left_unconsumed():
+    record = TlsRecord(TYPE_APPLICATION_DATA, 0x0303, b"0123456789").serialize()
+    records, tail = parse_records(record[:7])
+    assert records == [] and tail == record[:7]
+
+
+def test_record_protection_roundtrip():
+    key = bytes(range(48))
+    tx = RecordProtection(key)
+    rx = RecordProtection(key)
+    for message in (b"first", b"second", b"third"):
+        wire = tx.protect(TYPE_APPLICATION_DATA, message)
+        records, _ = parse_records(wire)
+        assert rx.unprotect(records[0]) == message
+
+
+def test_record_protection_detects_tampering():
+    key = bytes(range(48))
+    wire = bytearray(RecordProtection(key).protect(TYPE_APPLICATION_DATA, b"secret"))
+    wire[7] ^= 0xFF
+    records, _ = parse_records(bytes(wire))
+    with pytest.raises(RecordError):
+        RecordProtection(key).unprotect(records[0])
+
+
+def test_record_protection_detects_replay():
+    key = bytes(range(48))
+    tx = RecordProtection(key)
+    rx = RecordProtection(key)
+    wire = tx.protect(TYPE_APPLICATION_DATA, b"msg")
+    records, _ = parse_records(wire)
+    assert rx.unprotect(records[0]) == b"msg"
+    with pytest.raises(RecordError):  # same record again: sequence mismatch
+        rx.unprotect(records[0])
+
+
+# ----------------------------------------------------------------------
+# handshake
+# ----------------------------------------------------------------------
+def run_handshake(client_versions=None, server_min=TlsVersion.TLS12):
+    client = ClientHandshake(HmacDrbg(b"c"), versions=client_versions)
+    server = ServerHandshake(HmacDrbg(b"s"), min_version=server_min)
+    server_hello, server_finished = server.process_client_hello(client.client_hello())
+    client_finished = client.process_server_hello(server_hello)
+    client.verify_server_finished(server_finished)
+    server.verify_client_finished(client_finished)
+    return client, server
+
+
+def test_handshake_derives_matching_keys():
+    client, server = run_handshake()
+    assert client.keys.client_write == server.keys.client_write
+    assert client.keys.server_write == server.keys.server_write
+    assert client.keys.version == TlsVersion.TLS13  # best offered wins
+
+
+def test_handshake_honours_server_min_version():
+    client, server = run_handshake(
+        client_versions=[TlsVersion.TLS12], server_min=TlsVersion.TLS12
+    )
+    assert client.keys.version == TlsVersion.TLS12
+
+
+def test_handshake_rejects_below_min_version():
+    client = ClientHandshake(HmacDrbg(b"c"), versions=[TlsVersion.TLS12])
+    server = ServerHandshake(HmacDrbg(b"s"), min_version=TlsVersion.TLS13)
+    with pytest.raises(TlsAlert):
+        server.process_client_hello(client.client_hello())
+
+
+def test_transcript_tampering_breaks_finished():
+    client = ClientHandshake(HmacDrbg(b"c"))
+    server = ServerHandshake(HmacDrbg(b"s"))
+    hello_bytes = client.client_hello()
+    # MITM strips TLS 1.3 from the offered versions (downgrade attempt)
+    tampered = hello_bytes.replace(b'"TLS1.3", ', b"")
+    server_hello, server_finished = server.process_client_hello(tampered)
+    client.process_server_hello(server_hello)
+    with pytest.raises(TlsAlert):
+        client.verify_server_finished(server_finished)
+
+
+def test_malformed_hellos_rejected():
+    server = ServerHandshake(HmacDrbg(b"s"))
+    with pytest.raises(TlsAlert):
+        server.process_client_hello(b"not json")
+
+
+# ----------------------------------------------------------------------
+# session + observer decryption
+# ----------------------------------------------------------------------
+def make_session():
+    client, _server = run_handshake()
+    return TlsSession(
+        client.keys,
+        client_endpoint=("10.8.0.2", 40001),
+        server_endpoint=("93.184.216.34", 443),
+    )
+
+
+def test_endpoints_exchange_data():
+    session = make_session()
+    wire = session.protect("client", b"GET / HTTP/1.1")
+    records, _ = parse_records(wire)
+    assert session.unprotect("server", records[0]) == b"GET / HTTP/1.1"
+
+
+def test_observer_decrypts_client_direction():
+    session = make_session()
+    wire = session.protect("client", b"GET /secret HTTP/1.1")
+    plaintext, remainder = session.decrypt_stream(wire, sender=("10.8.0.2", 40001))
+    assert plaintext == b"GET /secret HTTP/1.1"
+    assert remainder == b""
+
+
+def test_observer_decrypts_both_directions_independently():
+    session = make_session()
+    c_wire = session.protect("client", b"request")
+    s_wire = session.protect("server", b"response")
+    c_plain, _ = session.decrypt_stream(c_wire, sender=("10.8.0.2", 40001))
+    s_plain, _ = session.decrypt_stream(s_wire, sender=("93.184.216.34", 443))
+    assert (c_plain, s_plain) == (b"request", b"response")
+
+
+def test_observer_keeps_partial_records_buffered():
+    session = make_session()
+    wire = session.protect("client", b"0123456789")
+    plain, remainder = session.decrypt_stream(wire[:8], sender=("10.8.0.2", 40001))
+    assert plain == b"" and remainder == wire[:8]
+    plain, remainder = session.decrypt_stream(wire, sender=("10.8.0.2", 40001))
+    assert plain == b"0123456789"
+
+
+def test_key_registry_lookup_both_directions():
+    registry = TlsKeyRegistry()
+    session = make_session()
+    registry.register(session)
+    assert registry.lookup("10.8.0.2", 40001, "93.184.216.34", 443) is session
+    assert registry.lookup("93.184.216.34", 443, "10.8.0.2", 40001) is session
+    assert registry.lookup("1.1.1.1", 1, "2.2.2.2", 2) is None
+    registry.forget(session)
+    assert registry.lookup("10.8.0.2", 40001, "93.184.216.34", 443) is None
+
+
+# ----------------------------------------------------------------------
+# full TLS over simulated TCP
+# ----------------------------------------------------------------------
+def test_tls_over_tcp_end_to_end():
+    sim = Simulator()
+    topo = StarTopology(sim)
+    client_host = class_a_host(sim, "client")
+    server_host = class_a_host(sim, "server")
+    topo.attach(client_host)
+    topo.attach(server_host)
+
+    exported = []
+    client_lib = TlsLibrary(seed=b"c", custom=True, key_export=exported.append)
+    server_lib = TlsLibrary(seed=b"s")
+    transcript = []
+
+    def server():
+        listener = server_host.stack.tcp.listen(443)
+        conn = yield listener.accept()
+        stream = yield from server_lib.server_handshake(conn)
+        request = yield from stream.read_until(b"\r\n\r\n")
+        transcript.append(request)
+        stream.send(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi")
+
+    def client():
+        conn = yield sim.process(client_host.stack.tcp.connect(server_host.address, 443))
+        stream = yield from client_lib.client_handshake(conn, server_name="example.com")
+        stream.send(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n")
+        response = yield from stream.read_until(b"\r\n\r\n")
+        body = yield from stream.read_exactly(2)
+        transcript.append((response.split(b"\r\n")[0], body))
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=10.0)
+    assert transcript[0] == b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"
+    assert transcript[1] == (b"HTTP/1.1 200 OK", b"hi")
+    # the custom library exported exactly one session with endpoints set
+    assert len(exported) == 1
+    assert exported[0].server_endpoint[1] == 443

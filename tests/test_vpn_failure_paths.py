@@ -1,0 +1,129 @@
+"""VPN negative paths: unreachable server, tampered control messages."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaKeyPair
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.netsim import StarTopology
+from repro.netsim.host import class_a_host
+from repro.sim import Simulator
+from repro.vpn import OpenVpnClient, VpnError
+from repro.vpn.handshake import issue_certificate
+
+
+def make_client(sim, topo, server_addr):
+    ca = RsaKeyPair(bits=1024, seed=b"fp-ca")
+    host = class_a_host(sim, "lonely-client")
+    topo.attach(host)
+    key = X25519PrivateKey(HmacDrbg(b"fp").generate(32))
+    cert = issue_certificate(ca, "client", key.public_bytes)
+    return OpenVpnClient(host, server_addr, key, cert, ca.public_key)
+
+
+def test_handshake_times_out_without_server():
+    sim = Simulator()
+    topo = StarTopology(sim)
+    client = make_client(sim, topo, "10.0.0.200")  # nobody home
+    client.start()
+    sim.run(until=30.0)
+    assert client.connected_event.triggered
+    with pytest.raises(VpnError, match="timed out"):
+        raise client.connected_event.exception
+
+
+def test_client_cannot_start_twice():
+    sim = Simulator()
+    topo = StarTopology(sim)
+    client = make_client(sim, topo, "10.0.0.200")
+    client.start()
+    with pytest.raises(VpnError):
+        client.start()
+
+
+def test_tampered_session_config_rejected():
+    """A MITM rewriting the session-config message is caught by its MAC."""
+    from tests.test_vpn_integration import VpnWorld
+
+    world = VpnWorld(n_clients=1)
+    client = world.clients[0]
+    # intercept outgoing server datagrams and corrupt SESSION_CONFIG bodies
+    original_sendto = world.server.sock.sendto
+    from repro.vpn.openvpn import OP_SESSION_CONFIG
+    from repro.vpn.protocol import VpnPacket
+
+    def corrupting_sendto(payload, dst, dport, tos=0):
+        packet = VpnPacket.parse(payload)
+        if packet.opcode == OP_SESSION_CONFIG:
+            body = bytearray(packet.body)
+            body[5] ^= 0xFF
+            packet.body = bytes(body)
+            payload = packet.serialize()
+        return original_sendto(payload, dst, dport, tos)
+
+    world.server.sock.sendto = corrupting_sendto
+    client.start()
+    world.sim.run(until=10.0)
+    assert client.connected_event.triggered
+    with pytest.raises(VpnError, match="authentication"):
+        raise client.connected_event.exception
+
+
+def test_server_rejects_duplicate_start():
+    from tests.test_vpn_integration import VpnWorld
+
+    world = VpnWorld(n_clients=0)
+    with pytest.raises(VpnError):
+        world.server.start()
+
+
+def test_announce_config_requires_increasing_versions():
+    from tests.test_vpn_integration import VpnWorld
+
+    world = VpnWorld(n_clients=0)
+    world.server.announce_config(5, grace_period_s=1.0)
+    with pytest.raises(VpnError, match="increase"):
+        world.server.announce_config(5, grace_period_s=1.0)
+    with pytest.raises(VpnError, match="increase"):
+        world.server.announce_config(3, grace_period_s=1.0)
+
+
+def test_dead_peer_detection_rehandshakes_after_server_restart():
+    """Client survives a server state loss (OpenVPN's ping-restart)."""
+    from tests.test_vpn_integration import VpnWorld
+
+    world = VpnWorld(n_clients=1)
+    world.connect_all()
+    client = world.clients[0]
+    client.dpd_timeout = 2.0
+    received = []
+
+    def internal_server():
+        sock = world.internal.stack.udp_socket(5001)
+        while True:
+            payload, *_ = yield sock.recv()
+            received.append((world.sim.now, payload))
+
+    world.sim.process(internal_server())
+
+    def app_traffic():
+        sock = client.host.stack.udp_socket()
+        while True:
+            sock.sendto(b"heartbeat", world.internal.address, 5001)
+            yield world.sim.timeout(0.5)
+
+    world.sim.process(app_traffic())
+    world.sim.run(until=world.sim.now + 2.0)
+    before_crash = len(received)
+    assert before_crash >= 3
+
+    # the server "restarts": all session state evaporates
+    crash_time = world.sim.now
+    world.server.sessions_by_peer.clear()
+    world.server.sessions_by_tunnel_ip.clear()
+    world.sim.run(until=world.sim.now + 15.0)
+
+    assert client.reconnects >= 1
+    resumed = [t for t, _p in received if t > crash_time + 1.0]
+    assert resumed, "traffic never resumed after the server restart"
+    assert world.server.handshakes_completed >= 2

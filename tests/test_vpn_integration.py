@@ -1,0 +1,291 @@
+"""End-to-end VPN tests: handshake over the wire, tunnelled traffic,
+pings, client-to-client forwarding, enforcement."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaKeyPair
+from repro.crypto.x25519 import X25519PrivateKey
+from repro.netsim import IPv4Network, StarTopology
+from repro.netsim.host import class_a_host, class_b_host
+from repro.sim import Simulator
+from repro.vpn import OpenVpnClient, OpenVpnServer, ProtectionMode
+from repro.vpn.handshake import issue_certificate
+
+MANAGED_NET = "10.0.0.0/16"
+
+
+class VpnWorld:
+    """A small deployment: server + N clients + one internal host."""
+
+    def __init__(self, n_clients=1, mode=ProtectionMode.ENCRYPT_AND_MAC, charge_cpu=True):
+        self.sim = Simulator()
+        self.topo = StarTopology(self.sim, network=MANAGED_NET)
+        self.ca = RsaKeyPair(bits=1024, seed=b"world-ca")
+        self.server_host = class_b_host(self.sim, "vpn-gw", forwarding=True)
+        self.topo.attach(self.server_host)
+        self.internal = class_b_host(self.sim, "internal")
+        self.topo.attach(self.internal)
+        server_key = X25519PrivateKey(HmacDrbg(b"server-key").generate(32))
+        server_cert = issue_certificate(self.ca, "vpn-server", server_key.public_bytes)
+        self.server = OpenVpnServer(
+            self.server_host,
+            server_key,
+            server_cert,
+            self.ca.public_key,
+            protection_mode=mode,
+            charge_cpu=charge_cpu,
+        )
+        self.server.start()
+        self.topo.route_subnet("10.8.0.0/24", self.server_host)
+        self.clients = []
+        for index in range(n_clients):
+            host = class_a_host(self.sim, f"client-{index}")
+            self.topo.attach(host)
+            key = X25519PrivateKey(HmacDrbg(f"ck{index}".encode()).generate(32))
+            cert = issue_certificate(self.ca, f"client-{index}", key.public_bytes)
+            client = OpenVpnClient(
+                host,
+                self.server_host.address,
+                key,
+                cert,
+                self.ca.public_key,
+                server_name="vpn-server",
+                protection_mode=mode,
+                charge_cpu=charge_cpu,
+                tunnel_routes=[MANAGED_NET],
+            )
+            self.clients.append(client)
+
+    def connect_all(self, until=5.0):
+        for client in self.clients:
+            client.start()
+        self.sim.run(until=until)
+        for client in self.clients:
+            assert client.connected_event.triggered, "client failed to connect"
+            if client.connected_event.exception:
+                raise client.connected_event.exception
+
+
+def test_handshake_establishes_session():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    assert client.tunnel_ip is not None
+    assert str(client.tunnel_ip).startswith("10.8.0.")
+    assert world.server.handshakes_completed == 1
+    session = next(iter(world.server.sessions_by_peer.values()))
+    assert session.established
+    assert session.certificate.subject == "client-0"
+
+
+def test_udp_traffic_through_tunnel():
+    world = VpnWorld()
+    received = []
+
+    def internal_server():
+        sock = world.internal.stack.udp_socket(5001)
+        while True:
+            payload, src, _port, pkt = yield sock.recv()
+            received.append((payload, str(src)))
+
+    world.sim.process(internal_server())
+    world.connect_all()
+    client = world.clients[0]
+
+    def sender():
+        sock = client.host.stack.udp_socket()
+        sock.sendto(b"through the tunnel", world.internal.address, 5001)
+        yield world.sim.timeout(0)
+
+    world.sim.process(sender())
+    world.sim.run(until=8.0)
+    assert received
+    payload, src = received[0]
+    assert payload == b"through the tunnel"
+    assert src == str(client.tunnel_ip)  # traffic originates inside the tunnel
+
+
+def test_reply_traffic_comes_back_through_tunnel():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    results = []
+
+    def echo_server():
+        sock = world.internal.stack.udp_socket(7000)
+        payload, src, port, _ = yield sock.recv()
+        sock.sendto(payload.upper(), src, port)
+
+    def client_app():
+        sock = client.host.stack.udp_socket(6000)
+        sock.sendto(b"echo me", world.internal.address, 7000)
+        payload, _src, _port, _ = yield sock.recv()
+        results.append(payload)
+
+    world.sim.process(echo_server())
+    world.sim.process(client_app())
+    world.sim.run(until=8.0)
+    assert results == [b"ECHO ME"]
+    assert client.inner_bytes_received > 0
+
+
+def test_ping_rtt_through_vpn_close_to_direct():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    rtts = []
+
+    def pinger():
+        rtt = yield world.sim.process(client.host.stack.ping(world.internal.address, timeout=1.0))
+        rtts.append(rtt)
+
+    world.sim.process(pinger())
+    world.sim.run(until=10.0)
+    assert rtts and rtts[0] is not None
+    assert rtts[0] < 2e-3  # sub-2ms on the LAN even with VPN processing
+
+
+def test_client_to_client_through_server():
+    world = VpnWorld(n_clients=2)
+    world.connect_all()
+    a, b = world.clients
+    got = []
+
+    def receiver():
+        sock = b.host.stack.udp_socket(9000, address=b.tunnel_ip)
+        payload, src, _port, _ = yield sock.recv()
+        got.append((payload, str(src)))
+
+    def sender():
+        sock = a.host.stack.udp_socket()
+        sock.sendto(b"hi peer", b.tunnel_ip, 9000)
+        yield world.sim.timeout(0)
+
+    world.sim.process(receiver())
+    world.sim.process(sender())
+    world.sim.run(until=8.0)
+    assert got == [(b"hi peer", str(a.tunnel_ip))]
+
+
+def test_mac_only_mode_carries_traffic():
+    world = VpnWorld(mode=ProtectionMode.MAC_ONLY)
+    world.connect_all()
+    client = world.clients[0]
+    received = []
+
+    def internal_server():
+        sock = world.internal.stack.udp_socket(5001)
+        payload, *_ = yield sock.recv()
+        received.append(payload)
+
+    def sender():
+        sock = client.host.stack.udp_socket()
+        sock.sendto(b"isp mode", world.internal.address, 5001)
+        yield world.sim.timeout(0)
+
+    world.sim.process(internal_server())
+    world.sim.process(sender())
+    world.sim.run(until=8.0)
+    assert received == [b"isp mode"]
+
+
+def test_uncertified_client_rejected():
+    world = VpnWorld(n_clients=0)
+    rogue_ca = RsaKeyPair(bits=1024, seed=b"rogue")
+    host = class_a_host(world.sim, "mallory")
+    world.topo.attach(host)
+    key = X25519PrivateKey(HmacDrbg(b"mk").generate(32))
+    cert = issue_certificate(rogue_ca, "mallory", key.public_bytes)
+    client = OpenVpnClient(
+        host, world.server_host.address, key, cert, world.ca.public_key, server_name="vpn-server"
+    )
+    client.start()
+    world.sim.run(until=15.0)
+    assert client.connected_event.triggered
+    assert client.connected_event.exception is not None
+    assert world.server.handshakes_completed == 0
+
+
+def test_pings_carry_config_version_and_update_server_view():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    announcements = []
+    client.on_server_announcement = announcements.append
+    world.server.announce_config(version=5, grace_period_s=10.0)
+    world.sim.run(until=10.0)
+    assert announcements
+    assert announcements[-1].config_version == 5
+    assert announcements[-1].grace_period_s == 10.0
+
+
+def test_grace_period_enforcement_blocks_stale_clients():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    session = next(iter(world.server.sessions_by_peer.values()))
+    world.server.announce_config(version=2, grace_period_s=0.5)
+    received = []
+
+    def internal_server():
+        sock = world.internal.stack.udp_socket(5001)
+        while True:
+            payload, *_ = yield sock.recv()
+            received.append((world.sim.now, payload))
+
+    def sender():
+        sock = client.host.stack.udp_socket()
+        # within the grace period: should pass
+        sock.sendto(b"during-grace", world.internal.address, 5001)
+        yield world.sim.timeout(2.0)  # grace expires (client never updates)
+        sock.sendto(b"after-grace", world.internal.address, 5001)
+        yield world.sim.timeout(0)
+
+    world.sim.process(internal_server())
+    world.sim.process(sender())
+    world.sim.run(until=12.0)
+    payloads = [p for _t, p in received]
+    assert b"during-grace" in payloads
+    assert b"after-grace" not in payloads
+    assert session.packets_dropped_policy >= 1
+
+
+def test_replayed_datagram_dropped_by_server():
+    world = VpnWorld()
+    world.connect_all()
+    client = world.clients[0]
+    captured = []
+
+    # a malicious observer on the client host captures outer datagrams
+    original_sendto = client.sock.sendto
+
+    def capturing_sendto(payload, dst, dport, tos=0):
+        captured.append((payload, dst, dport))
+        return original_sendto(payload, dst, dport, tos)
+
+    client.sock.sendto = capturing_sendto
+    received = []
+
+    def internal_server():
+        sock = world.internal.stack.udp_socket(5001)
+        while True:
+            payload, *_ = yield sock.recv()
+            received.append(payload)
+
+    def attack():
+        sock = client.host.stack.udp_socket()
+        sock.sendto(b"legit", world.internal.address, 5001)
+        yield world.sim.timeout(1.0)
+        # replay every captured data packet verbatim
+        replay_sock = client.host.stack.udp_socket()
+        for payload, dst, dport in list(captured):
+            replay_sock.sendto(payload, dst, dport)
+        yield world.sim.timeout(0)
+
+    world.sim.process(internal_server())
+    world.sim.process(attack())
+    rejected_before = world.server.packets_rejected
+    world.sim.run(until=8.0)
+    assert received.count(b"legit") == 1  # the replay never reached the app
+    assert world.server.packets_rejected > rejected_before
