@@ -1,13 +1,16 @@
 # EndBox reproduction - common targets
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick security coverage clean
+.PHONY: install test lint bench experiments experiments-quick security coverage clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

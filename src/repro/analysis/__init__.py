@@ -1,0 +1,59 @@
+"""endbox-lint: static analysis for the EndBox reproduction's invariants.
+
+The paper's security argument (§V-A) and this repo's reproducibility
+story rest on properties the runtime checks only dynamically, if at all.
+This package makes them machine-checked on every tree:
+
+* **Enclave-boundary isolation** (:mod:`~repro.analysis.checkers.boundary`):
+  untrusted code must reach enclave state only through
+  ``EnclaveGateway.ecall``/``ocall`` — never by importing enclave
+  internals or touching ``trusted_state``/``_private`` attributes.
+* **Determinism** (:mod:`~repro.analysis.checkers.determinism`):
+  simulation-domain code must draw time from the sim clock and
+  randomness from :class:`~repro.sim.randomness.SeededRng`, never from
+  ``time.time``/``datetime.now``/``os.urandom``/module-level ``random``.
+* **Gateway interface audit** (:mod:`~repro.analysis.checkers.interface`):
+  every ocall needs an Iago return-value validator and boundary
+  crossings that carry data must declare ``payload_bytes`` so Fig-8
+  cost accounting cannot silently erode.
+* **Click-graph validation** (:mod:`~repro.analysis.checkers.clickgraph`):
+  the shipped configurations must have valid port arities, no cycles,
+  and no unreachable elements — checked offline here and again at
+  config load before a reconfiguration commits
+  (:mod:`~repro.analysis.graphcheck`).
+
+Run it as ``python -m repro.analysis src/`` (or ``make lint``); see
+README.md for the baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    Checker,
+    ModuleInfo,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graphcheck import ClickGraphError, GraphIssue, check_config_text, validate_parsed
+from repro.analysis.trustmap import TrustDomain, trust_domain
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "ClickGraphError",
+    "Finding",
+    "GraphIssue",
+    "ModuleInfo",
+    "Severity",
+    "TrustDomain",
+    "analyze_paths",
+    "analyze_source",
+    "check_config_text",
+    "trust_domain",
+    "validate_parsed",
+]

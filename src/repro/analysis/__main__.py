@@ -1,0 +1,139 @@
+"""``python -m repro.analysis`` — the endbox-lint CLI.
+
+Examples::
+
+    python -m repro.analysis src/                 # all passes, text report
+    python -m repro.analysis src/ --format=json   # machine-readable
+    python -m repro.analysis src/ --rules EB103,DET401
+    python -m repro.analysis src/ --write-baseline lint-baseline.json
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no unbaselined findings remain, 1 when findings are
+reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
+from repro.analysis.checkers import all_rules, default_checkers
+from repro.analysis.engine import Analyzer
+from repro.analysis.reporting import render_json, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="endbox-lint",
+        description="Static analysis of the EndBox reproduction's invariants "
+        "(enclave boundary, determinism, gateway interface, Click graphs).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to scan (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline suppression file (default: ./{DEFAULT_BASELINE_NAME} if it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="only report these comma-separated rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with its description and exit",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also show baselined findings in text output",
+    )
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Baseline:
+    if args.no_baseline:
+        return Baseline()
+    if args.baseline is not None:
+        return Baseline.load(Path(args.baseline))
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.is_file():
+        return Baseline.load(default)
+    return Baseline()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in all_rules().items():
+            print(f"{rule}  {description}")
+        return 0
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    for path in paths:
+        if not Path(path).exists():
+            parser.error(f"no such file or directory: {path}")
+    try:
+        baseline = _resolve_baseline(args)
+    except (BaselineError, OSError) as exc:
+        parser.error(str(exc))
+    report = Analyzer(checkers=default_checkers(), baseline=baseline).run(paths)
+
+    if args.rules is not None:
+        wanted = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
+        unknown = wanted - set(all_rules())
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))} (see --list-rules)")
+        report.findings = [finding for finding in report.findings if finding.rule in wanted]
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(
+            report.findings, note="baselined by --write-baseline; justify or fix"
+        ).save(Path(args.write_baseline))
+        print(
+            f"wrote {args.write_baseline} suppressing {len(report.findings)} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Baseline suppressions: adopt the linter without fixing history first.
+
+A baseline file is a JSON document of entries, each suppressing findings
+by rule and/or file.  Every entry carries a ``note`` explaining *why*
+the violation is acceptable — a baseline without justification is just a
+muted alarm.  Format::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "EB103", "path": "src/repro/core/endbox_client.py",
+         "note": "host half reads its own cost model back"},
+        {"rule": "DET402", "note": "whole rule accepted for now"},
+        {"path": "src/repro/attacks/iago.py",
+         "contains": "register_ocall", "note": "attack registers bait"}
+      ]
+    }
+
+Matching is deliberately line-number-free so baselines survive
+unrelated edits: an entry matches on rule (exact), path (suffix match,
+``/``-normalized) and optional ``contains`` (message substring).  At
+least one of ``rule``/``path`` is required.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+@dataclass
+class BaselineEntry:
+    rule: Optional[str] = None
+    path: Optional[str] = None
+    contains: Optional[str] = None
+    note: str = ""
+    hits: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rule is None and self.path is None:
+            raise BaselineError("baseline entry needs at least one of 'rule'/'path'")
+
+    def matches(self, finding: Finding) -> bool:
+        """True when this entry suppresses ``finding``."""
+        if self.rule is not None and finding.rule != self.rule:
+            return False
+        if self.path is not None:
+            normalized = finding.path.replace("\\", "/")
+            wanted = self.path.replace("\\", "/")
+            if normalized != wanted and not normalized.endswith("/" + wanted.lstrip("/")):
+                return False
+        if self.contains is not None and self.contains not in finding.message:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (omits unset fields)."""
+        data = {}
+        if self.rule is not None:
+            data["rule"] = self.rule
+        if self.path is not None:
+            data["path"] = self.path
+        if self.contains is not None:
+            data["contains"] = self.contains
+        if self.note:
+            data["note"] = self.note
+        return data
+
+
+class Baseline:
+    """A set of suppression entries, with hit tracking for staleness."""
+
+    def __init__(self, entries: Optional[Iterable[BaselineEntry]] = None) -> None:
+        self.entries: List[BaselineEntry] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline file; raises BaselineError when malformed."""
+        try:
+            document = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(document, dict) or "entries" not in document:
+            raise BaselineError(f"{path}: expected an object with an 'entries' list")
+        entries = []
+        for raw in document["entries"]:
+            if not isinstance(raw, dict):
+                raise BaselineError(f"{path}: entry is not an object: {raw!r}")
+            entries.append(
+                BaselineEntry(
+                    rule=raw.get("rule"),
+                    path=raw.get("path"),
+                    contains=raw.get("contains"),
+                    note=raw.get("note", ""),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as formatted JSON."""
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and counts the hit) when any entry matches."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                entry.hits += 1
+                return True
+        return False
+
+    def unused_entries(self) -> List[BaselineEntry]:
+        """Entries that matched nothing this run (candidates for removal)."""
+        return [entry for entry in self.entries if entry.hits == 0]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding], note: str = "baselined") -> "Baseline":
+        """Build a baseline that suppresses exactly these findings."""
+        seen = set()
+        entries = []
+        for finding in findings:
+            key = (finding.rule, finding.path)
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(BaselineEntry(rule=finding.rule, path=finding.path, note=note))
+        return cls(entries)

@@ -1,0 +1,128 @@
+"""Simulation determinism lint (DET4xx).
+
+Reproducibility of every experiment rests on two conventions: simulated
+time comes only from the sim clock (``sim.now`` /
+:class:`~repro.sgx.trusted_time.TrustedTime`), and randomness only from
+:class:`~repro.sim.randomness.SeededRng` (or an explicitly seeded
+``random.Random``).  Wall-clock reads, OS entropy, and the *global*
+``random`` module all break replayability — the global stream also
+perturbs every existing consumer whenever a new caller appears.
+
+* **DET401** — wall-clock time in simulation-domain code
+  (``time.time``, ``datetime.now``, ...).
+* **DET402** — OS entropy (``os.urandom``, ``secrets.*``, ``uuid.uuid1/4``,
+  ``random.SystemRandom``).
+* **DET403** — module-level ``random.*`` call (the shared global stream);
+  seeded ``random.Random(...)`` instances are fine.
+
+Genuinely host-side code (the experiment runner's human-facing elapsed
+time, this linter) is exempted via
+:data:`~repro.analysis.trustmap.DETERMINISM_ALLOWLIST`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import Checker, ImportMap, ModuleInfo
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.trustmap import determinism_exempt
+
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+OS_ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: the only members of the global ``random`` module that are fine to
+#: call: constructing an explicitly seeded, private generator.
+GLOBAL_RANDOM_OK = frozenset({"random.Random"})
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "DET401": "wall-clock time in simulation-domain code (use the sim clock)",
+        "DET402": "OS entropy in simulation-domain code (use sim.randomness.SeededRng)",
+        "DET403": "global random-module call in simulation-domain code (use SeededRng)",
+    }
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Determinism findings for one simulation-domain module."""
+        if not (module.module == "repro" or module.module.startswith("repro.")):
+            return []  # only the library is simulation-domain code
+        if determinism_exempt(module.module):
+            return []
+        imports = ImportMap(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin is None:
+                continue
+            if origin in WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        "DET401",
+                        Severity.ERROR,
+                        module,
+                        node,
+                        f"{origin}() reads the wall clock; simulation code must use "
+                        "the sim clock (sim.now / TrustedTime)",
+                    )
+                )
+            elif origin in OS_ENTROPY_CALLS:
+                findings.append(
+                    self.finding(
+                        "DET402",
+                        Severity.ERROR,
+                        module,
+                        node,
+                        f"{origin}() draws OS entropy; simulation code must use "
+                        "repro.sim.randomness.SeededRng",
+                    )
+                )
+            elif (
+                origin.startswith("random.")
+                and origin.count(".") == 1
+                and origin not in GLOBAL_RANDOM_OK
+            ):
+                findings.append(
+                    self.finding(
+                        "DET403",
+                        Severity.ERROR,
+                        module,
+                        node,
+                        f"{origin}() uses the process-global random stream; derive a "
+                        "namespaced generator from SeededRng instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,66 @@
+"""Finding and severity model shared by every checker."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders so ``ERROR > WARNING > INFO``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-relative where possible (stable across machines, so
+    baseline files can be committed); ``symbol`` names the enclosing
+    function/class when the checker knows it, which keeps baseline
+    matching robust against line drift.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    symbol: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def location(self) -> str:
+        """``path:line:col`` (what text reports print)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.symbol:
+            data["symbol"] = self.symbol
+        if self.extra:
+            data["extra"] = self.extra
+        return data
+
+    def sort_key(self):
+        """Stable report order: by path, then line, then rule."""
+        return (self.path, self.line, self.col, self.rule)

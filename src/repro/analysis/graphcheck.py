@@ -1,0 +1,254 @@
+"""Static validation of Click element graphs.
+
+Click configurations are data, so a broken one (dangling port, cycle,
+unknown element class) is only discovered when the router is built — or
+worse, when the first packet loops forever.  This module validates a
+:class:`~repro.click.config.ParsedConfig` *without instantiating any
+element*: port arities against each class's declared ``PORT_COUNT``,
+single-wiring of push outputs, reachability from the ``FromDevice``
+entry, and acyclicity of the whole graph.
+
+It is used in two places:
+
+* offline, by the ``clickgraph`` lint pass over ``repro.click.configs``;
+* at config load, by :class:`~repro.click.hotswap.HotSwapManager`, so a
+  versioned reconfiguration is rejected *before* the grace period
+  switches clients over to a graph that cannot run (§III-C).
+
+Fatal issues (wrong arity, cycles, unknown classes, duplicate output
+wiring, multiple entries) raise :class:`ClickGraphError` from
+:func:`check_config_text`; structural smells (unreachable elements,
+unconnected mandatory outputs — Click semantics turn those into silent
+drops) are reported but do not block a swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.click.config import ParsedConfig, parse_config
+from repro.click.element import ElementError
+
+
+class ClickGraphError(ElementError):
+    """A configuration failed static graph validation."""
+
+    def __init__(self, issues: List["GraphIssue"]) -> None:
+        self.issues = issues
+        super().__init__(
+            "invalid Click graph: " + "; ".join(issue.message for issue in issues)
+        )
+
+
+@dataclass
+class GraphIssue:
+    """One structural problem in a parsed configuration."""
+
+    rule: str
+    message: str
+    fatal: bool
+    element: Optional[str] = None
+
+
+def _load_registry() -> Dict[str, type]:
+    # Imported lazily: element classes register themselves when
+    # ``repro.click.elements`` is imported, and doing it here keeps this
+    # module free of import cycles with the click package itself.
+    import repro.click.elements  # noqa: F401  (registration side effect)
+    from repro.click.registry import element_registry
+
+    return dict(element_registry)
+
+
+def validate_parsed(
+    parsed: ParsedConfig, registry: Optional[Dict[str, type]] = None
+) -> List[GraphIssue]:
+    """Validate a parsed configuration; returns all issues found."""
+    if registry is None:
+        registry = _load_registry()
+    issues: List[GraphIssue] = []
+    port_counts: Dict[str, tuple] = {}
+
+    for declaration in parsed.declarations:
+        cls = registry.get(declaration.class_name)
+        if cls is None:
+            issues.append(
+                GraphIssue(
+                    rule="CG301",
+                    message=f"element {declaration.name!r} uses unknown class "
+                    f"{declaration.class_name!r}",
+                    fatal=True,
+                    element=declaration.name,
+                )
+            )
+            continue
+        port_counts[declaration.name] = tuple(cls.PORT_COUNT)
+
+    # ------------------------------------------------------------------
+    # port arity and single-wiring of push outputs
+    # ------------------------------------------------------------------
+    out_wired: Dict[tuple, int] = {}
+    for connection in parsed.connections:
+        src_ports = port_counts.get(connection.src)
+        if src_ports is not None:
+            n_out = src_ports[1]
+            if n_out is not None and connection.src_port >= n_out:
+                issues.append(
+                    GraphIssue(
+                        rule="CG302",
+                        message=f"{connection.src!r} has no output port "
+                        f"{connection.src_port} (declares {n_out})",
+                        fatal=True,
+                        element=connection.src,
+                    )
+                )
+        dst_ports = port_counts.get(connection.dst)
+        if dst_ports is not None:
+            n_in = dst_ports[0]
+            if n_in is not None and connection.dst_port >= n_in:
+                issues.append(
+                    GraphIssue(
+                        rule="CG303",
+                        message=f"{connection.dst!r} has no input port "
+                        f"{connection.dst_port} (declares {n_in})",
+                        fatal=True,
+                        element=connection.dst,
+                    )
+                )
+        key = (connection.src, connection.src_port)
+        out_wired[key] = out_wired.get(key, 0) + 1
+    for (name, port), uses in out_wired.items():
+        if uses > 1:
+            issues.append(
+                GraphIssue(
+                    rule="CG304",
+                    message=f"output port {port} of {name!r} is connected {uses} times "
+                    "(push outputs must be single-wired)",
+                    fatal=True,
+                    element=name,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # mandatory outputs that are never connected (silent Discard)
+    # ------------------------------------------------------------------
+    for name, (n_in, n_out) in port_counts.items():
+        if n_out is None or n_out == 0:
+            continue
+        wired = {port for (src, port) in out_wired if src == name}
+        for port in range(n_out):
+            if port not in wired:
+                issues.append(
+                    GraphIssue(
+                        rule="CG305",
+                        message=f"output port {port} of {name!r} is not connected "
+                        "(packets sent there are silently dropped)",
+                        fatal=False,
+                        element=name,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # entry points and reachability
+    # ------------------------------------------------------------------
+    entries = [
+        name for name, (n_in, _n_out) in port_counts.items() if n_in == 0
+    ]
+    if len(entries) > 1:
+        issues.append(
+            GraphIssue(
+                rule="CG308",
+                message=f"multiple entry (FromDevice-like) elements: {sorted(entries)}",
+                fatal=True,
+            )
+        )
+    adjacency: Dict[str, Set[str]] = {d.name: set() for d in parsed.declarations}
+    for connection in parsed.connections:
+        adjacency.setdefault(connection.src, set()).add(connection.dst)
+        adjacency.setdefault(connection.dst, set())
+    if not entries:
+        issues.append(
+            GraphIssue(
+                rule="CG309",
+                message="configuration has no entry point (no 0-input element)",
+                fatal=False,
+            )
+        )
+    else:
+        reached: Set[str] = set()
+        frontier = list(entries)
+        while frontier:
+            name = frontier.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            frontier.extend(adjacency.get(name, ()))
+        for declaration in parsed.declarations:
+            if declaration.name not in reached:
+                issues.append(
+                    GraphIssue(
+                        rule="CG306",
+                        message=f"element {declaration.name!r} is unreachable from the entry point",
+                        fatal=False,
+                        element=declaration.name,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # cycles (push processing would recurse forever at runtime)
+    # ------------------------------------------------------------------
+    cycle = _find_cycle(adjacency)
+    if cycle is not None:
+        issues.append(
+            GraphIssue(
+                rule="CG307",
+                message="configuration graph has a cycle: " + " -> ".join(cycle),
+                fatal=True,
+            )
+        )
+    return issues
+
+
+def _find_cycle(adjacency: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """First cycle in the graph as a node path, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in adjacency}
+    stack: List[str] = []
+
+    def visit(name: str) -> Optional[List[str]]:
+        color[name] = GRAY
+        stack.append(name)
+        for successor in sorted(adjacency.get(name, ())):
+            if color.get(successor, WHITE) == GRAY:
+                start = stack.index(successor)
+                return stack[start:] + [successor]
+            if color.get(successor, WHITE) == WHITE:
+                found = visit(successor)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[name] = BLACK
+        return None
+
+    for name in sorted(adjacency):
+        if color[name] == WHITE:
+            found = visit(name)
+            if found is not None:
+                return found
+    return None
+
+
+def check_config_text(text: str, registry: Optional[Dict[str, type]] = None) -> List[GraphIssue]:
+    """Parse and validate configuration text.
+
+    Raises :class:`ClickGraphError` when any *fatal* issue is present
+    (the configuration must not be swapped in); returns the non-fatal
+    issues otherwise.  Parse errors propagate as
+    :class:`~repro.click.config.ClickSyntaxError`.
+    """
+    issues = validate_parsed(parse_config(text), registry=registry)
+    fatal = [issue for issue in issues if issue.fatal]
+    if fatal:
+        raise ClickGraphError(fatal)
+    return issues

@@ -1,0 +1,45 @@
+"""Text and JSON reporters for analysis reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-facing report: one line per finding plus a summary."""
+    lines = []
+    for finding in report.findings:
+        symbol = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.severity.value}: "
+            f"{finding.message}{symbol}"
+        )
+    if verbose and report.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(report.baselined)}):")
+        for finding in report.baselined:
+            lines.append(f"  {finding.location()}: {finding.rule}: {finding.message}")
+    if report.unused_baseline_entries:
+        lines.append("")
+        lines.append(
+            f"note: {len(report.unused_baseline_entries)} baseline entr"
+            f"{'y is' if len(report.unused_baseline_entries) == 1 else 'ies are'} "
+            "stale (matched nothing) — consider removing:"
+        )
+        for entry in report.unused_baseline_entries:
+            lines.append(f"  {json.dumps(entry)}")
+    lines.append("")
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"endbox-lint: {status} — {report.modules_scanned} module(s), "
+        f"passes: {', '.join(report.checkers)}, "
+        f"{len(report.baselined)} baselined, {report.inline_suppressed} inline-suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-facing report (consumed by tests/test_analysis.py)."""
+    return json.dumps(report.to_dict(), indent=2)

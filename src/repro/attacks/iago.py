@@ -31,7 +31,8 @@ def _provisioned_enclave(seed: bytes):
     platform = SgxPlatform(ias)
     endbox = EndBoxEnclave.create(image, platform)
     provision_client(endbox, platform, ca)
-    endbox.gateway.ecall("initialize", click_configs.nop_config(), "", sim=Simulator())
+    config = click_configs.nop_config()
+    endbox.gateway.ecall("initialize", config, "", sim=Simulator(), payload_bytes=len(config))
     return endbox
 
 

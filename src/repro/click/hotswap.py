@@ -51,14 +51,38 @@ class HotSwapManager:
         #: re-opens device file descriptors on every swap.
         self.in_memory = in_memory
         self.context = context or {}
+        self._validate(initial_config)
         self.router = Router(initial_config, cost_model, ledger, self.context)
         self.swaps_performed = 0
         self.last_timings: Optional[SwapTimings] = None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(config_text: str) -> None:
+        """Statically validate the element graph before instantiating it.
+
+        Rejects configurations the runtime would only trip over later —
+        dangling ports, cycles (which would recurse forever on the first
+        packet), unknown element classes — so a versioned
+        reconfiguration fails *before* its grace period switches clients
+        over.  Raises :class:`~repro.analysis.graphcheck.ClickGraphError`.
+        """
+        # imported lazily: repro.analysis.graphcheck depends on the click
+        # package, which is mid-initialisation when this module loads
+        from repro.analysis.graphcheck import check_config_text
+
+        check_config_text(config_text)
+
+    # ------------------------------------------------------------------
     def hotswap(self, new_config: str) -> SwapTimings:
-        """Replace the running configuration; returns phase timings."""
+        """Replace the running configuration; returns phase timings.
+
+        The new graph is validated and fully built before the old router
+        is replaced, so a rejected configuration leaves the running one
+        untouched.
+        """
         model = self.cost_model
+        self._validate(new_config)
         new_router = Router(new_config, model, self.ledger, self.context)
         # state transfer: same-named elements adopt their predecessor's state
         for name, element in new_router.elements.items():

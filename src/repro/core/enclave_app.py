@@ -17,6 +17,8 @@ import json
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.click.config import ClickSyntaxError
+from repro.click.element import ElementError
 from repro.click.hotswap import HotSwapManager, SwapTimings
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashes import sha256
@@ -219,10 +221,46 @@ def ecall_apply_config(enclave, gateway, blob: bytes) -> Tuple[int, SwapTimings]
             ruleset_text, variables={"HOME_NET": "10.0.0.0/8", "EXTERNAL_NET": "any"}
         )
     manager: HotSwapManager = state["click"]
-    timings = manager.hotswap(click_config)
+    try:
+        # the hot-swap manager statically validates the graph (port
+        # arities, cycles, unknown elements) before committing the swap
+        timings = manager.hotswap(click_config)
+    except (ClickSyntaxError, ElementError) as exc:
+        raise ConfigError(f"configuration rejected before swap: {exc}") from exc
     timings.decrypt_s = decrypt_s
     state["config_version"] = version
     return version, timings
+
+
+def ecall_export_handshake_credentials(enclave, gateway):
+    """Hand the VPN identity key and certificate to the untrusted half.
+
+    In the real EndBox the OpenVPN control channel terminates *inside*
+    the enclave, so the identity key never leaves.  This model drives
+    the handshake from host code; exporting the credentials through an
+    ecall keeps the crossing on the audited gateway surface instead of
+    letting untrusted code reach into ``trusted_state`` directly.
+    Returns ``None`` while the enclave is unprovisioned.
+    """
+    state = enclave.trusted_state
+    identity_key = state.get("identity_key")
+    certificate = state.get("certificate")
+    if identity_key is None or certificate is None:
+        return None
+    return identity_key, certificate
+
+
+def ecall_get_certificate(enclave, gateway):
+    """The (public) CA-issued certificate, e.g. after ``restore_state``."""
+    return enclave.trusted_state.get("certificate")
+
+
+def ecall_set_cost_model(enclave, gateway, model, keep_existing: bool = False) -> bool:
+    """Install the cost model in-enclave components price their work with."""
+    if keep_existing and enclave.trusted_state.get("cost_model") is not None:
+        return False
+    enclave.trusted_state["cost_model"] = model
+    return True
 
 
 def ecall_register_tls_session(enclave, gateway, session) -> bool:
@@ -246,6 +284,9 @@ ENDBOX_ECALLS = {
     "restore_state": ecall_restore_state,
     "process_packet": ecall_process_packet,
     "apply_config": ecall_apply_config,
+    "export_handshake_credentials": ecall_export_handshake_credentials,
+    "get_certificate": ecall_get_certificate,
+    "set_cost_model": ecall_set_cost_model,
     "register_tls_session": ecall_register_tls_session,
     "read_handler": ecall_read_handler,
 }

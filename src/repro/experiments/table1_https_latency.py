@@ -76,11 +76,15 @@ def _measure(config: str, sizes: Sequence[int], repeats: int, seed: bytes) -> Di
         # swap the enclave Click graph for the TLS-inspection pipeline
         # decrypt-only pipeline: the paper measures "traffic decryption
         # inside Click" without an IDS stage behind it
+        decrypt_config = (
+            "from :: FromDevice(); tls :: TLSDecrypt(); to :: ToDevice(); from -> tls -> to;"
+        )
         client.endbox.gateway.ecall(
             "initialize",
-            "from :: FromDevice(); tls :: TLSDecrypt(); to :: ToDevice(); from -> tls -> to;",
+            decrypt_config,
             "",
             sim=world.sim,
+            payload_bytes=len(decrypt_config),
         )
     world.connect_all()
     # HTTPS server on the internal host

@@ -26,7 +26,7 @@ from SGX instruction overhead (EndBox SGX) in Fig 8.
 
 from repro.sgx.enclave import Enclave, EnclaveError, EnclaveImage, EnclaveMode
 from repro.sgx.epc import EnclavePageCache, EPC_SIZE_BYTES
-from repro.sgx.gateway import CostLedger, EnclaveGateway, InterfaceViolation
+from repro.sgx.gateway import CostLedger, EnclaveGateway, InterfaceViolation, InterfaceWarning
 from repro.sgx.attestation import (
     AttestationError,
     IntelAttestationService,
@@ -50,6 +50,7 @@ __all__ = [
     "EnclavePageCache",
     "IntelAttestationService",
     "InterfaceViolation",
+    "InterfaceWarning",
     "MonotonicCounter",
     "Quote",
     "QuotingEnclave",

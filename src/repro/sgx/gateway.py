@@ -16,6 +16,7 @@ models that boundary:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Optional
 
 from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMode
@@ -23,6 +24,10 @@ from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMode
 
 class InterfaceViolation(EnclaveError):
     """An ecall/ocall argument failed its declared sanity check."""
+
+
+class InterfaceWarning(UserWarning):
+    """A boundary declaration weakens the Iago defence (§IV-B)."""
 
 
 class CostLedger:
@@ -80,8 +85,32 @@ class EnclaveGateway:
     # ------------------------------------------------------------------
     # declaration
     # ------------------------------------------------------------------
-    def register_ocall(self, name: str, handler: Callable, validator: Optional[Callable[..., bool]] = None) -> None:
-        """Declare an ocall implemented by untrusted code."""
+    def register_ocall(
+        self,
+        name: str,
+        handler: Callable,
+        validator: Optional[Callable[..., bool]] = None,
+        *,
+        unvalidated_ok: bool = False,
+    ) -> None:
+        """Declare an ocall implemented by untrusted code.
+
+        Every ocall return value crosses back into the enclave, so a
+        missing ``validator`` means a lying handler reaches trusted code
+        unchecked — the exact Iago attack §IV-B defends against.
+        Registering without one therefore warns unless the caller opts
+        out with ``unvalidated_ok=True`` (attack simulations register
+        deliberately unvalidated bait handlers).
+        """
+        if validator is None and not unvalidated_ok:
+            warnings.warn(
+                f"ocall {name!r} registered without a return-value validator; "
+                "hostile (Iago-style) return values will reach trusted code "
+                "unchecked — pass validator=..., or unvalidated_ok=True in "
+                "attack simulations",
+                InterfaceWarning,
+                stacklevel=2,
+            )
         self._ocalls[name] = handler
         if validator is not None:
             self._validators[f"ocall:{name}"] = validator

@@ -1,5 +1,7 @@
 """SGX model tests: measurement, EPC, transitions, attestation, sealing."""
 
+import warnings
+
 import pytest
 
 from repro.crypto.rsa import RsaKeyPair
@@ -14,6 +16,7 @@ from repro.sgx import (
     EnclavePageCache,
     IntelAttestationService,
     InterfaceViolation,
+    InterfaceWarning,
     MonotonicCounter,
     SealedStorage,
     SealingError,
@@ -360,7 +363,7 @@ def test_exitless_ocalls_skip_transitions():
     gateway = EnclaveGateway(
         enclave, ledger, transition_cost=4e-6, exitless_ocalls=True, exitless_cost=0.2e-6
     )
-    gateway.register_ocall("fetch", lambda: b"data")
+    gateway.register_ocall("fetch", lambda: b"data", validator=lambda r: isinstance(r, bytes))
     assert gateway.ocall("fetch", payload_bytes=100) == b"data"
     assert gateway.exitless_serviced == 1
     assert ledger.total == pytest.approx(0.2e-6)  # no 2x 4us transitions
@@ -375,6 +378,91 @@ def test_exitless_ocall_validation_still_enforced():
     gateway.register_ocall("lie", lambda: "str", validator=lambda r: isinstance(r, bytes))
     with pytest.raises(InterfaceViolation):
         gateway.ocall("lie")
+
+
+def test_exitless_ocall_charges_copy_cost():
+    enclave = Enclave(make_image(), EnclavePageCache(), mode=EnclaveMode.HARDWARE)
+    ledger = CostLedger()
+    gateway = EnclaveGateway(
+        enclave,
+        ledger,
+        transition_cost=4e-6,
+        copy_cost_per_byte=1e-9,
+        exitless_ocalls=True,
+        exitless_cost=0.2e-6,
+    )
+    gateway.register_ocall("fetch", lambda: b"data", validator=lambda r: isinstance(r, bytes))
+    gateway.ocall("fetch", payload_bytes=1000)
+    # queueing cost + boundary copy, but never the 2x 4us transition pair
+    assert ledger.total == pytest.approx(0.2e-6 + 1e-6)
+
+
+def test_exitless_ocalls_free_in_simulation_mode():
+    enclave = Enclave(make_image(), EnclavePageCache(), mode=EnclaveMode.SIMULATION)
+    ledger = CostLedger()
+    gateway = EnclaveGateway(
+        enclave, ledger, transition_cost=4e-6, exitless_ocalls=True, exitless_cost=0.2e-6
+    )
+    gateway.register_ocall("fetch", lambda: b"data", validator=lambda r: isinstance(r, bytes))
+    assert gateway.ocall("fetch", payload_bytes=100) == b"data"
+    # simulation mode takes the regular (uncharged) path: nothing hits the
+    # ledger and the exitless worker is never involved
+    assert ledger.total == 0.0
+    assert gateway.exitless_serviced == 0
+    assert gateway.ocall_count == 1
+
+
+def test_rejected_ecall_still_counts_the_attempted_transition(enclave):
+    gateway = EnclaveGateway(enclave)
+    gateway.set_ecall_validator("store", lambda key, value: isinstance(key, str))
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("store", 123, 1)
+    # the validator fires before EENTER: no transition happened, the
+    # enclave was never entered, and the handler never ran
+    assert gateway.ecall_count == 0
+    assert 123 not in enclave.trusted_state
+
+
+def test_rejected_ocall_return_counts_the_completed_exit(enclave):
+    gateway = EnclaveGateway(enclave)
+    gateway.register_ocall("lie", lambda: "not-bytes", validator=lambda r: isinstance(r, bytes))
+    with pytest.raises(InterfaceViolation):
+        gateway.ocall("lie")
+    # the untrusted handler DID run (the exit happened); only the return
+    # value was stopped at the boundary on the way back in
+    assert gateway.ocall_count == 1
+
+
+def test_ledger_drain_is_idempotent_until_new_costs():
+    ledger = CostLedger()
+    ledger.add(2e-6)
+    ledger.add(3e-6)
+    assert ledger.pending == pytest.approx(5e-6)
+    assert ledger.drain() == pytest.approx(5e-6)
+    assert ledger.drain() == 0.0  # nothing pending until new costs arrive
+    ledger.add(1e-6)
+    assert ledger.drain() == pytest.approx(1e-6)
+    # total is the all-time sum, unaffected by draining
+    assert ledger.total == pytest.approx(6e-6)
+
+
+def test_register_ocall_without_validator_warns(enclave):
+    gateway = EnclaveGateway(enclave)
+    with pytest.warns(InterfaceWarning, match="without a return-value validator"):
+        gateway.register_ocall("naked", lambda: b"x")
+    # the handler still works; the warning is advisory
+    assert gateway.ocall("naked") == b"x"
+
+
+def test_register_ocall_unvalidated_ok_suppresses_warning(enclave):
+    gateway = EnclaveGateway(enclave)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", InterfaceWarning)
+        gateway.register_ocall("bait", lambda: b"x", unvalidated_ok=True)
+        gateway.register_ocall(
+            "checked", lambda: b"x", validator=lambda r: isinstance(r, bytes)
+        )
+    assert gateway.ocall("bait") == b"x"
 
 
 def test_local_attestation_between_resident_enclaves():
