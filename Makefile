@@ -13,6 +13,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.perf --json BENCH_micro.json
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:
@@ -26,4 +27,4 @@ security:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache src/repro.egg-info .benchmarks
+	rm -rf .pytest_cache src/repro.egg-info .benchmarks BENCH_micro.json

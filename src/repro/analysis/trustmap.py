@@ -72,6 +72,9 @@ TRUST_MAP: Dict[str, TrustDomain] = {
     "repro.netsim": TrustDomain.UNTRUSTED,
     "repro.experiments": TrustDomain.UNTRUSTED,
     "repro.consensus": TrustDomain.UNTRUSTED,
+    # the wall-clock micro-harness times host-side Python, never enclave
+    # state; it drives the gateway like any other untrusted caller
+    "repro.perf": TrustDomain.UNTRUSTED,
     # substrate shared by both sides
     "repro.sim": TrustDomain.SHARED,
     "repro.costs": TrustDomain.SHARED,
@@ -102,6 +105,9 @@ DETERMINISM_ALLOWLIST = frozenset(
         "repro.experiments.runner",
         # the linter itself never runs inside a simulation
         "repro.analysis",
+        # the micro-harness measures wall-clock by design; its
+        # simulations are self-contained and discarded after timing
+        "repro.perf",
     }
 )
 

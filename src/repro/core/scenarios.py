@@ -128,6 +128,8 @@ def build_deployment(
     isp_no_encryption: bool = False,
     single_ecall_optimization: bool = True,
     c2c_flagging: bool = True,
+    ecall_batching: bool = False,
+    ecall_batch_limit: int = 32,
     with_config_server: bool = True,
     seed: bytes = b"deployment",
 ) -> EndBoxDeployment:
@@ -233,6 +235,8 @@ def build_deployment(
                 config_server=config_server_endpoint,
                 single_ecall_optimization=single_ecall_optimization,
                 c2c_flagging=c2c_flagging,
+                ecall_batching=ecall_batching,
+                ecall_batch_limit=ecall_batch_limit,
                 server_name="vpn-server",
                 cost_model=model,
                 protection_mode=mode,

@@ -60,6 +60,14 @@ def _mul(a: int, b: int) -> int:
     return result
 
 
+#: round keys are a pure function of the key, so sessions re-deriving a
+#: cipher for the same key (one per record in the worst case) reuse the
+#: expansion instead of redoing 40 rounds of the schedule.  Bounded so a
+#: long-running simulation with many sessions cannot grow it unboundedly.
+_KEY_SCHEDULE_CACHE: dict = {}
+_KEY_SCHEDULE_CACHE_MAX = 1024
+
+
 class AES128:
     """AES with a 128-bit key (10 rounds)."""
 
@@ -68,7 +76,14 @@ class AES128:
     def __init__(self, key: bytes) -> None:
         if len(key) != 16:
             raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
-        self._round_keys = self._expand_key(key)
+        key = bytes(key)
+        cached = _KEY_SCHEDULE_CACHE.get(key)
+        if cached is None:
+            cached = self._expand_key(key)
+            if len(_KEY_SCHEDULE_CACHE) >= _KEY_SCHEDULE_CACHE_MAX:
+                _KEY_SCHEDULE_CACHE.clear()
+            _KEY_SCHEDULE_CACHE[key] = cached
+        self._round_keys = cached
 
     @staticmethod
     def _expand_key(key: bytes) -> List[List[int]]:

@@ -1,17 +1,54 @@
-"""HMAC-SHA256 helpers with constant-time verification."""
+"""HMAC-SHA256 helpers with constant-time verification.
+
+The inner/outer pad states depend only on the key, so a per-key HMAC
+object is cached and ``copy()``-ed per message instead of redoing the
+key-block hashing (two SHA-256 compressions) on every call — the same
+trick OpenSSL's ``HMAC_Init_ex`` reuse gives C callers.  Digests are
+byte-identical to a fresh ``hmac.new`` per call.
+"""
 
 from __future__ import annotations
 
 import hashlib
 import hmac as _hmac
 
+#: key -> (inner, outer) sha256 objects holding the keyed pad states.
+#: Bounded: a long-lived simulation with many sessions must not grow it
+#: forever.
+_PAD_STATE_CACHE: dict = {}
+_PAD_STATE_CACHE_MAX = 4096
+
+
+def _keyed_state(key: bytes):
+    """The cached ``(inner, outer)`` pad-state pair for ``key``.
+
+    Raw ``hashlib`` objects rather than an ``hmac.HMAC`` instance: the
+    per-message cost is then exactly two C-level hash copies, with no
+    Python-object bookkeeping on top.
+    """
+    pair = _PAD_STATE_CACHE.get(key)
+    if pair is None:
+        block_key = hashlib.sha256(key).digest() if len(key) > 64 else key
+        block_key = block_key.ljust(64, b"\x00")
+        pair = (
+            hashlib.sha256(bytes(b ^ 0x36 for b in block_key)),
+            hashlib.sha256(bytes(b ^ 0x5C for b in block_key)),
+        )
+        if len(_PAD_STATE_CACHE) >= _PAD_STATE_CACHE_MAX:
+            _PAD_STATE_CACHE.clear()
+        _PAD_STATE_CACHE[bytes(key)] = pair
+    return pair
+
 
 def hmac_sha256(key: bytes, *chunks: bytes) -> bytes:
     """HMAC-SHA256 of the concatenation of ``chunks`` under ``key``."""
-    mac = _hmac.new(key, digestmod=hashlib.sha256)
+    inner_base, outer_base = _keyed_state(key)
+    inner = inner_base.copy()
     for chunk in chunks:
-        mac.update(chunk)
-    return mac.digest()
+        inner.update(chunk)
+    outer = outer_base.copy()
+    outer.update(inner.digest())
+    return outer.digest()
 
 
 def hmac_verify(key: bytes, data: bytes, tag: bytes) -> bool:

@@ -75,20 +75,34 @@ class RsaPublicKey:
         return hashlib.sha256(self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")).hexdigest()[:16]
 
 
+#: (bits, seed) -> (n, d).  Key generation is a pure function of the
+#: deterministic seed, so repeated deployments built from the same seed
+#: (every experiment sweep rebuilds its CA/IAS) reuse the Miller–Rabin
+#: work instead of re-deriving byte-identical primes.
+_KEYPAIR_CACHE: dict = {}
+_KEYPAIR_CACHE_MAX = 256
+
+
 class RsaKeyPair:
     """RSA key pair; 1024-bit by default (fast to generate, fine for a sim)."""
 
     def __init__(self, bits: int = 1024, seed: Optional[bytes] = None) -> None:
-        drbg = HmacDrbg(seed or b"rsa-default-seed")
-        half = bits // 2
-        p = _generate_prime(half, drbg)
-        q = _generate_prime(half, drbg)
-        while q == p:
+        seed = bytes(seed or b"rsa-default-seed")
+        cached = _KEYPAIR_CACHE.get((bits, seed))
+        if cached is None:
+            drbg = HmacDrbg(seed)
+            half = bits // 2
+            p = _generate_prime(half, drbg)
             q = _generate_prime(half, drbg)
-        self.n = p * q
+            while q == p:
+                q = _generate_prime(half, drbg)
+            phi = (p - 1) * (q - 1)
+            cached = (p * q, pow(_E, -1, phi))
+            if len(_KEYPAIR_CACHE) >= _KEYPAIR_CACHE_MAX:
+                _KEYPAIR_CACHE.clear()
+            _KEYPAIR_CACHE[(bits, seed)] = cached
+        self.n, self.d = cached
         self.e = _E
-        phi = (p - 1) * (q - 1)
-        self.d = pow(self.e, -1, phi)
         self.public_key = RsaPublicKey(self.n, self.e)
 
     def sign(self, message: bytes) -> int:

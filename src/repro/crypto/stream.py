@@ -14,6 +14,16 @@ from __future__ import annotations
 import hashlib
 import struct
 
+#: (key, nonce) -> keystream bytes.  The VPN computes every keystream
+#: twice — once to protect at the sender, once to unprotect the same
+#: record at the receiver — with the same key and nonce; caching the
+#: blocks turns the second derivation into a dict hit.  Pure function of
+#: (key, nonce), so cached bytes are identical to recomputation.
+#: Bounded: cleared wholesale when full (records are short-lived; a
+#: generational clear is cheaper than LRU bookkeeping).
+_KEYSTREAM_CACHE: dict = {}
+_KEYSTREAM_CACHE_MAX = 2048
+
 
 class KeystreamCipher:
     """Symmetric keystream cipher: ``ct = pt XOR KS(key, nonce)``.
@@ -22,17 +32,43 @@ class KeystreamCipher:
     must be used per message (the VPN layer uses its packet id).
     """
 
+    #: struct-packed counters, shared across instances (pure function of
+    #: the index); grown on demand and indexed per block
+    _COUNTERS = [struct.pack(">I", counter) for counter in range(64)]
+
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
             raise ValueError("key must be at least 16 bytes")
         self._key = key
+        # Cached key schedule: the SHA-256 midstate over the key prefix
+        # is key-only work, hashed once here and ``copy()``-ed per block
+        # instead of re-absorbing the key for every keystream block.
+        self._midstate = hashlib.sha256(key)
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        cache_key = (self._key, nonce)
+        cached = _KEYSTREAM_CACHE.get(cache_key)
+        if cached is not None and len(cached) >= length:
+            return cached[:length]
+        counters = self._COUNTERS
+        n_blocks = (length + 31) // 32
+        while n_blocks > len(counters):
+            counters.append(struct.pack(">I", len(counters)))
+        # per message: absorb the nonce once on top of the key midstate
+        base = self._midstate.copy()
+        base.update(nonce)
+        copy = base.copy
         blocks = []
-        prefix = self._key + nonce
-        for counter in range((length + 31) // 32):
-            blocks.append(hashlib.sha256(prefix + struct.pack(">I", counter)).digest())
-        return b"".join(blocks)[:length]
+        append = blocks.append
+        for counter in range(n_blocks):
+            block = copy()
+            block.update(counters[counter])
+            append(block.digest())
+        stream = b"".join(blocks)[:length]
+        if len(_KEYSTREAM_CACHE) >= _KEYSTREAM_CACHE_MAX:
+            _KEYSTREAM_CACHE.clear()
+        _KEYSTREAM_CACHE[cache_key] = stream
+        return stream
 
     def process(self, nonce: bytes, data: bytes) -> bytes:
         """Encrypt or decrypt ``data`` under ``nonce``."""

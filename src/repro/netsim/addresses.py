@@ -76,7 +76,11 @@ class IPv4Address:
     def from_bytes(cls, data: bytes) -> "IPv4Address":
         if len(data) != 4:
             raise ValueError("IPv4 address must be 4 bytes")
-        return cls(int.from_bytes(data, "big"))
+        number = int.from_bytes(data, "big")
+        cached = cls._intern.get(number)
+        if cached is not None:
+            return cached
+        return cls(number)
 
 
 class IPv4Network:
@@ -96,6 +100,8 @@ class IPv4Network:
         self.network = IPv4Address(IPv4Address(base).value & self._mask)
 
     def __contains__(self, address: AddressLike) -> bool:
+        if type(address) is IPv4Address:
+            return (address.value & self._mask) == self.network.value
         return (IPv4Address(address).value & self._mask) == self.network.value
 
     def __str__(self) -> str:

@@ -14,7 +14,7 @@ optimisation stores its "already processed" flag there.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.netsim.addresses import IPv4Address
@@ -40,14 +40,22 @@ TCP_ACK = 0x10
 
 
 def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones-complement checksum."""
+    """RFC 1071 ones-complement checksum.
+
+    Computed as one big-integer reduction rather than a per-word Python
+    loop: since ``2**16 ≡ 1 (mod 0xFFFF)``, the end-around-carry sum of
+    the 16-bit words equals ``int(data) % 0xFFFF`` — except that folding
+    yields ``0xFFFF`` (not 0) for any non-zero input whose word sum is a
+    multiple of 0xFFFF, which the explicit checks preserve.
+    """
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
+    big = int.from_bytes(data, "big")
+    if big == 0:
+        return 0xFFFF
+    total = big % 0xFFFF
+    if total == 0:
+        total = 0xFFFF
     return (~total) & 0xFFFF
 
 
@@ -207,8 +215,10 @@ class IPv4Packet:
     more_fragments: bool = False
 
     def __post_init__(self) -> None:
-        self.src = IPv4Address(self.src)
-        self.dst = IPv4Address(self.dst)
+        if type(self.src) is not IPv4Address:
+            self.src = IPv4Address(self.src)
+        if type(self.dst) is not IPv4Address:
+            self.dst = IPv4Address(self.dst)
         if self.protocol is None:
             self.protocol = getattr(self.l4, "protocol", 0xFD)  # 0xFD: experimental
 
@@ -248,9 +258,41 @@ class IPv4Packet:
         header = header[:10] + struct.pack(">H", checksum) + header[12:]
         return header + body
 
+    _COPY_FIELDS = frozenset(
+        (
+            "src",
+            "dst",
+            "l4",
+            "tos",
+            "ttl",
+            "identification",
+            "protocol",
+            "frag_offset",
+            "more_fragments",
+        )
+    )
+
     def copy(self, **changes) -> "IPv4Packet":
-        """A modified copy (dataclasses.replace)."""
-        return replace(self, **changes)
+        """A modified copy (same semantics as ``dataclasses.replace``,
+        hand-rolled to skip its per-call field introspection and, for
+        the c2c-flagging hot path, the constructor itself)."""
+        clone = object.__new__(IPv4Packet)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.l4 = self.l4
+        clone.tos = self.tos
+        clone.ttl = self.ttl
+        clone.identification = self.identification
+        clone.protocol = self.protocol
+        clone.frag_offset = self.frag_offset
+        clone.more_fragments = self.more_fragments
+        if changes:
+            for name, value in changes.items():
+                if name not in IPv4Packet._COPY_FIELDS:
+                    raise TypeError(f"unexpected field {name!r}")
+                setattr(clone, name, value)
+            clone.__post_init__()  # renormalise src/dst/protocol
+        return clone
 
     # ------------------------------------------------------------------
     # IP fragmentation
@@ -282,6 +324,103 @@ class IPv4Packet:
             )
             offset += len(chunk)
         return fragments
+
+
+class WireFrame:
+    """A cut-through stand-in for a serialized packet on a link.
+
+    Links and interfaces treat frames opaquely (length for delay and
+    byte counters, FIFO queueing); only the far end parses.  When a
+    packet provably round-trips — :func:`fast_wire_frame` admits it —
+    the wire bytes are never materialised: the frame carries a snapshot
+    packet object equal to ``parse_ipv4(packet.serialize())``, built
+    once at send time (so later mutation of the original cannot leak
+    into frames already in flight, exactly like a byte snapshot).
+
+    ``len(frame)`` equals the serialized length, so transmission delay,
+    MTU checks and interface byte counters are unchanged.
+    """
+
+    __slots__ = ("packet", "_length")
+
+    def __init__(self, packet: IPv4Packet, length: int) -> None:
+        self.packet = packet
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WireFrame {self.packet!r}>"
+
+
+def fast_wire_frame(packet: IPv4Packet) -> Optional[WireFrame]:
+    """Snapshot ``packet`` as a :class:`WireFrame`, or None when
+    ineligible (caller then serializes for real).
+
+    Eligibility mirrors what ``parse_ipv4(packet.serialize())`` does:
+    every field must survive the round trip unchanged (no fragments, no
+    raw-bytes L4, all header fields in wire range, L4 fields within the
+    masks parse applies).  Anything unusual — crafted packets from
+    attack scenarios, out-of-range values that serialize would reject —
+    falls back to the byte path and behaves exactly as before.
+    """
+    if packet.frag_offset or packet.more_fragments:
+        return None
+    if not (
+        0 <= packet.tos <= 0xFF
+        and 0 <= packet.ttl <= 0xFF
+        and 0 <= packet.identification <= 0xFFFF
+    ):
+        return None
+    l4 = packet.l4
+    l4_type = type(l4)
+    if l4_type is UdpDatagram:
+        if (
+            packet.protocol != PROTO_UDP
+            or type(l4.payload) is not bytes
+            or not (0 <= l4.src_port <= 0xFFFF and 0 <= l4.dst_port <= 0xFFFF)
+        ):
+            return None
+        new_l4: L4Message = UdpDatagram(l4.src_port, l4.dst_port, l4.payload)
+    elif l4_type is TcpSegment:
+        if (
+            packet.protocol != PROTO_TCP
+            or type(l4.payload) is not bytes
+            or not (0 <= l4.src_port <= 0xFFFF and 0 <= l4.dst_port <= 0xFFFF)
+            or not 0 <= l4.window <= 0xFFFF
+            or l4.seq != l4.seq & 0xFFFFFFFF
+            or l4.ack != l4.ack & 0xFFFFFFFF
+            or l4.flags != l4.flags & 0x3F
+        ):
+            return None
+        new_l4 = TcpSegment(
+            l4.src_port, l4.dst_port, l4.seq, l4.ack, l4.flags, l4.window, l4.payload
+        )
+    elif l4_type is IcmpMessage:
+        if (
+            packet.protocol != PROTO_ICMP
+            or type(l4.payload) is not bytes
+            or not (0 <= l4.icmp_type <= 0xFF and 0 <= l4.code <= 0xFF)
+            or not (0 <= l4.identifier <= 0xFFFF and 0 <= l4.sequence <= 0xFFFF)
+        ):
+            return None
+        new_l4 = IcmpMessage(l4.icmp_type, l4.code, l4.identifier, l4.sequence, l4.payload)
+    else:
+        return None
+    total = IPV4_HEADER_LEN + len(new_l4)
+    if total > 0xFFFF:
+        return None  # serialize would overflow the length field; use it
+    snapshot = IPv4Packet(
+        src=packet.src,
+        dst=packet.dst,
+        l4=new_l4,
+        tos=packet.tos,
+        ttl=packet.ttl,
+        identification=packet.identification,
+        protocol=packet.protocol,
+    )
+    return WireFrame(snapshot, total)
 
 
 def parse_ipv4(data: bytes, verify_checksum: bool = False) -> IPv4Packet:

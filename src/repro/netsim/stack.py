@@ -28,6 +28,8 @@ from repro.netsim.packet import (
     IPv4Packet,
     TcpSegment,
     UdpDatagram,
+    WireFrame,
+    fast_wire_frame,
     parse_ipv4,
 )
 from repro.sim import FifoStore, Simulator
@@ -139,7 +141,13 @@ class NetworkStack:
 
     def is_local(self, address: IPv4Address) -> bool:
         """True when the address belongs to this stack."""
-        return any(itf.address == address for itf in self.interfaces)
+        if type(address) is not IPv4Address:
+            address = IPv4Address(address)
+        # addresses are interned, so identity comparison suffices
+        for itf in self.interfaces:
+            if itf.address is address:
+                return True
+        return False
 
     def set_preferred_source(self, address: Optional[IPv4Address]) -> None:
         """Make ``address`` the default source for new sockets/pings.
@@ -238,7 +246,10 @@ class NetworkStack:
             else:
                 self.packets_dropped += 1
             return ok
-        ok = egress.send(packet.serialize())
+        # cut-through fast path: provably round-trippable packets cross
+        # the link as a snapshot object instead of serialize+parse bytes
+        frame = fast_wire_frame(packet)
+        ok = egress.send(frame if frame is not None else packet.serialize())
         if ok:
             self.packets_sent += 1
         else:
@@ -249,6 +260,9 @@ class NetworkStack:
     # ingress path
     # ------------------------------------------------------------------
     def _on_frame(self, frame: bytes, interface: Interface) -> None:
+        if type(frame) is WireFrame:
+            self.inject(frame.packet, interface)
+            return
         try:
             packet = parse_ipv4(frame)
         except ValueError:

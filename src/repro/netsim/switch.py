@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.netsim.addresses import IPv4Address, IPv4Network
 from repro.netsim.interface import Interface
 from repro.netsim.link import Link
-from repro.netsim.packet import parse_ipv4
+from repro.netsim.packet import WireFrame, parse_ipv4
 from repro.sim import Simulator
 
 
@@ -63,11 +63,14 @@ class Switch:
         return self.default_port
 
     def _on_frame(self, frame: bytes, ingress: Interface) -> None:
-        try:
-            dst = IPv4Address.from_bytes(frame[16:20])
-        except ValueError:
-            self.packets_dropped += 1
-            return
+        if type(frame) is WireFrame:
+            dst = frame.packet.dst
+        else:
+            try:
+                dst = IPv4Address.from_bytes(frame[16:20])
+            except ValueError:
+                self.packets_dropped += 1
+                return
         egress = self._lookup(dst)
         if egress is None or egress is ingress:
             self.packets_dropped += 1

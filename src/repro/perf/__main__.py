@@ -1,0 +1,30 @@
+"""CLI: run the micro-harness and emit ``BENCH_micro.json``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf.micro import format_report, run_all, write_json
+
+
+def main() -> int:
+    """Run the harness; exit 0 iff the speedup criterion is met."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="time scalar vs batched hot paths and assert equivalence",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
+    parser.add_argument("-n", type=int, default=12_800, help="packets per stage")
+    parser.add_argument("--burst", type=int, default=32, help="packets per batched crossing")
+    parser.add_argument("--payload", type=int, default=64, help="UDP payload bytes")
+    args = parser.parse_args()
+    doc = run_all(n=args.n, burst=args.burst, payload_bytes=args.payload)
+    print(format_report(doc))
+    if args.json:
+        write_json(doc, args.json)
+        print(f"wrote {args.json}")
+    return 0 if doc["criterion"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

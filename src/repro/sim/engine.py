@@ -36,7 +36,10 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # allocated lazily on the first waiter: most events on the hot
+        # path (store puts, immediate grants) trigger with no listener.
+        # Holds None, a single callable, or a FIFO list of callables.
+        self._callbacks: Any = None
         self.triggered = False
         self.value: Any = None
         self.exception: Optional[BaseException] = None
@@ -54,12 +57,20 @@ class Event:
         """Register ``callback`` to run when the event triggers.
 
         If the event already triggered, the callback is scheduled to run
-        immediately (at the current simulation time).
+        immediately (at the current simulation time).  Storage is
+        specialised for the dominant single-waiter case: a bare callable
+        until a second waiter arrives, then a FIFO list.
         """
         if self.triggered:
-            self.sim.schedule(0.0, lambda: callback(self))
+            self.sim._schedule_callback(callback, self)
+            return
+        current = self._callbacks
+        if current is None:
+            self._callbacks = callback
+        elif type(current) is list:
+            current.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [current, callback]
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value``."""
@@ -90,9 +101,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # no eager name: formatting one per timeout measurably slows the
+        # heap loop; __repr__ renders the delay on demand instead
+        super().__init__(sim)
         self.delay = delay
         sim._schedule_event(sim.now + delay, self, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event timeout({self.delay:g}) {state}>"
 
 
 class Process(Event):
@@ -110,8 +127,9 @@ class Process(Event):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         self.generator = generator
         self._waiting_on: Optional[Event] = None
-        # Kick off the process at the current time.
-        sim.schedule(0.0, lambda: self._resume(None, None))
+        # Kick off the process at the current time (closure-free fast
+        # path: the heap entry carries the process itself).
+        sim._schedule_kickoff(self)
 
     @property
     def is_alive(self) -> bool:
@@ -231,15 +249,24 @@ class Simulator:
         Current simulation time in seconds.
     """
 
+    #: heap entries executed across every Simulator in the process; the
+    #: benchmark harness snapshots this to report events/sec per bench
+    events_executed_total = 0
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
         self._running = False
+        #: heap entries executed so far (perf harness / bench metadata)
+        self.events_executed = 0
 
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
+    # heap entry kinds: 0 = bare callback, 1 = (event, value) trigger,
+    # 2 = process kickoff, 3 = (callback, event) deferred wake-up.  Kinds
+    # 2/3 avoid allocating a closure per entry on the hot path.
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback()`` after ``delay`` simulated seconds."""
         if delay < 0:
@@ -251,6 +278,15 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, 1, (event, value)))
 
+    def _schedule_kickoff(self, process: "Process") -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, 2, process))
+
+    def _schedule_callback(self, callback: Callable[[Event], None], event: Event) -> None:
+        """Deferred wake-up: run ``callback(event)`` at the current time."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, 3, (callback, event)))
+
     def _dispatch(self, event: Event) -> None:
         """Run callbacks of a just-triggered event, immediately and inline.
 
@@ -259,9 +295,15 @@ class Simulator:
         within a timestep is still deterministic because callbacks are
         stored FIFO.
         """
-        callbacks, event._callbacks = event._callbacks, []
-        for callback in callbacks:
-            callback(event)
+        callbacks = event._callbacks
+        if callbacks is None:
+            return
+        event._callbacks = None
+        if type(callbacks) is list:
+            for callback in callbacks:
+                callback(event)
+        else:
+            callbacks(event)
 
     # ------------------------------------------------------------------
     # user-facing factories
@@ -297,33 +339,61 @@ class Simulator:
         if when < self.now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self.now = when
+        self.events_executed += 1
+        Simulator.events_executed_total += 1
         if kind == 0:
             payload()
-        else:
+        elif kind == 1:
             event, value = payload
             if not event.triggered:
                 event.succeed(value)
+        elif kind == 2:
+            payload._resume(None, None)
+        else:
+            callback, event = payload
+            callback(event)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
-        """Run until the event queue drains or ``until`` is reached."""
+        """Run until the event queue drains or ``until`` is reached.
+
+        The dispatch loop is :meth:`step` inlined (minus the defensive
+        time check): one method call and one attribute load per heap
+        entry add up over the hundreds of thousands of entries a single
+        experiment executes.
+        """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
         try:
-            executed = 0
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self.now = until
                     return
-                if not self.step():
-                    return
+                when, _seq, kind, payload = pop(heap)
+                self.now = when
+                if kind == 0:
+                    payload()
+                elif kind == 1:
+                    event, value = payload
+                    if not event.triggered:
+                        event.succeed(value)
+                elif kind == 2:
+                    payload._resume(None, None)
+                else:
+                    callback, event = payload
+                    callback(event)
                 executed += 1
                 if executed > max_events:
                     raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            self.events_executed += executed
+            Simulator.events_executed_total += executed
             self._running = False
 
     def peek(self) -> Optional[float]:

@@ -36,7 +36,7 @@ class Resource:
 
     def request(self) -> Event:
         """Request a slot; returns an event that fires when granted."""
-        event = self.sim.event(f"{self.name}.request")
+        event = self.sim.event(self.name)
         if self.in_use < self.capacity:
             self.in_use += 1
             event.succeed(self)
@@ -161,24 +161,31 @@ class FifoStore:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Event] = deque()
+        # Event pool for non-blocking puts: every such put used to
+        # allocate a fresh already-triggered Event that callers almost
+        # always discard.  One shared triggered instance is semantically
+        # identical (waiters see a deferred wake-up with value None,
+        # exactly as before) and removes the dominant allocation in the
+        # dispatch loops.
+        self._put_done = sim.event(f"{name}.put")
+        self._put_done.triggered = True
 
     def put(self, item: Any) -> Event:
         """Insert an item (event fires immediately unless bounded-full)."""
-        event = self.sim.event(f"{self.name}.put")
         if self._getters:
             self._getters.popleft().succeed(item)
-            event.succeed(None)
-        elif self.capacity is None or len(self._items) < self.capacity:
+            return self._put_done
+        if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed(None)
-        else:
-            self._putters.append(event)
-            event.value = item  # parked; delivered on next get
+            return self._put_done
+        event = self.sim.event(self.name)
+        self._putters.append(event)
+        event.value = item  # parked; delivered on next get
         return event
 
     def get(self) -> Event:
         """Event yielding the next item."""
-        event = self.sim.event(f"{self.name}.get")
+        event = self.sim.event(self.name)
         if self._items:
             item = self._items.popleft()
             if self._putters:
@@ -201,6 +208,16 @@ class FifoStore:
         if not self._items:
             return None
         return self._items.popleft()
+
+    def peek(self) -> Any:
+        """The next item ``get``/``try_get`` would return, without
+        removing it; None when empty.  Lets a consumer drain only a
+        same-kind run of items (batched dispatch) without reordering."""
+        if self._items:
+            return self._items[0]
+        if self._putters:
+            return self._putters[0].value
+        return None
 
     def __len__(self) -> int:
         return len(self._items)

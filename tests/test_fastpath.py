@@ -1,0 +1,350 @@
+"""Equivalence tests for the batched fast path.
+
+Every batched mechanism this PR adds — channel batch crypto, compiled
+Click dispatch, the gateway's single-crossing ``ecall_batch``, the fused
+``process_packet_batch`` ecall and the client's burst-draining worker —
+is asserted to be observably identical to its scalar counterpart, with
+one documented exception: a burst of N packets pays one EENTER/EEXIT
+transition pair on the gateway ledger where the scalar path pays N.
+"""
+
+import math
+
+import pytest
+
+from repro.click import Router, configs as click_configs
+from repro.core.ca import CertificateAuthority
+from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
+from repro.core.provisioning import provision_client
+from repro.core.scenarios import build_deployment
+from repro.costs import default_cost_model
+from repro.netsim import IPv4Packet, UdpDatagram
+from repro.netsim.packet import ENDBOX_PROCESSED_TOS
+from repro.netsim.traffic import UdpSink, UdpTrafficSource, make_payload
+from repro.sgx import IntelAttestationService, SealedStorage, SgxPlatform
+from repro.sgx.gateway import CostLedger, InterfaceViolation
+from repro.sim import Simulator
+from repro.vpn.channel import DataChannel, ProtectionMode
+from repro.vpn.protocol import OP_DATA, OP_PING, VpnPacket
+
+MODE = ProtectionMode.ENCRYPT_AND_MAC.value
+
+
+def udp_packet(payload=b"data", sport=40000, dport=5001, tos=0):
+    return IPv4Packet(
+        src="10.8.0.2", dst="10.0.0.9", l4=UdpDatagram(sport, dport, payload), tos=tos
+    )
+
+
+def burst(count=8, payload_bytes=64):
+    payload = make_payload(payload_bytes)
+    return [udp_packet(payload, sport=40000 + i) for i in range(count)]
+
+
+@pytest.fixture()
+def endbox():
+    """A provisioned EndBox enclave with the NOP graph loaded."""
+    ias = IntelAttestationService()
+    ca = CertificateAuthority(ias, seed=b"fastpath-ca")
+    image = build_endbox_image(ca.public_key, default_cost_model())
+    ca.whitelist_measurement(image.measure())
+    platform = SgxPlatform(ias)
+    box = EndBoxEnclave.create(image, platform)
+    provision_client(box, platform, ca, SealedStorage(platform.platform_id))
+    config = click_configs.nop_config()
+    box.gateway.ecall("initialize", config, "", sim=Simulator(), payload_bytes=len(config))
+    return box
+
+
+# ----------------------------------------------------------------------
+# data-channel batch crypto
+# ----------------------------------------------------------------------
+def channel_pair():
+    return (
+        DataChannel(b"cipher-key-cipher", b"hmac-key-hmac-key"),
+        DataChannel(b"cipher-key-cipher", b"hmac-key-hmac-key"),
+    )
+
+
+def test_protect_batch_ciphertexts_identical():
+    tx_scalar, _ = channel_pair()
+    tx_batch, _ = channel_pair()
+    payloads = [make_payload(n) for n in (1, 63, 64, 65, 700)]
+    scalar_wire = [
+        tx_scalar.protect(VpnPacket(OP_DATA, 9, pid), payload).serialize()
+        for pid, payload in enumerate(payloads, start=1)
+    ]
+    items = [(VpnPacket(OP_DATA, 9, pid), p) for pid, p in enumerate(payloads, start=1)]
+    batch_wire = [p.serialize() for p in tx_batch.protect_batch(items)]
+    assert batch_wire == scalar_wire
+    assert tx_batch.packets_protected == tx_scalar.packets_protected == len(payloads)
+
+
+def test_protect_batch_rejects_non_data_opcode():
+    tx, _ = channel_pair()
+    from repro.vpn.channel import ChannelError
+
+    with pytest.raises(ChannelError):
+        tx.protect_batch([(VpnPacket(OP_PING, 9, 1), b"x")])
+
+
+def test_unprotect_batch_isolates_forged_packet():
+    tx, rx = channel_pair()
+    payloads = [b"first", b"second", b"third"]
+    packets = tx.protect_batch(
+        [(VpnPacket(OP_DATA, 9, pid), p) for pid, p in enumerate(payloads, start=1)]
+    )
+    packets[1].body = b"\x00" * len(packets[1].body)  # forge the middle one
+    out = rx.unprotect_batch(packets)
+    assert out == [b"first", None, b"third"]
+    assert rx.packets_rejected == 1
+
+
+# ----------------------------------------------------------------------
+# compiled Click dispatch
+# ----------------------------------------------------------------------
+class RecordingLedger(CostLedger):
+    """A ledger that remembers every individual charge, in order."""
+
+    def __init__(self):
+        super().__init__()
+        self.charges = []
+
+    def add(self, seconds):
+        self.charges.append(seconds)
+        super().add(seconds)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [click_configs.nop_config(), click_configs.firewall_config()],
+    ids=["nop", "firewall"],
+)
+def test_compiled_dispatch_matches_interpreter(config):
+    model = default_cost_model()
+    interp_ledger = RecordingLedger()
+    interpreted = Router(config, model, interp_ledger)
+    interpreted.uncompile()
+    assert not interpreted.compiled
+    compiled_ledger = RecordingLedger()
+    compiled = Router(config, model, compiled_ledger)
+    assert compiled.compiled
+
+    packets = burst(6) + [udp_packet(b"telnet", dport=23)]
+    interp_out = [interpreted.process(p) for p in packets]
+    compiled_out = [compiled.process(p) for p in packets]
+    assert [a for a, _ in interp_out] == [a for a, _ in compiled_out]
+    assert [p.serialize() for _, p in interp_out] == [p.serialize() for _, p in compiled_out]
+    for name, element in interpreted.elements.items():
+        twin = compiled.elements[name]
+        assert (element.packets_in, element.packets_out) == (twin.packets_in, twin.packets_out)
+    # the compiler elides provably-zero charges (identity adds); every
+    # real charge must match in value and order, and totals exactly
+    assert [c for c in compiled_ledger.charges if c != 0.0] == [
+        c for c in interp_ledger.charges if c != 0.0
+    ]
+    assert compiled_ledger.total == interp_ledger.total
+
+
+def test_process_batch_matches_scalar_loop():
+    model = default_cost_model()
+    loop_ledger = RecordingLedger()
+    loop_router = Router(click_configs.firewall_config(), model, loop_ledger)
+    batch_ledger = RecordingLedger()
+    batch_router = Router(click_configs.firewall_config(), model, batch_ledger)
+
+    packets = burst(10)
+    loop_out = [loop_router.process(p) for p in packets]
+    batch_out = batch_router.process_batch(packets)
+    assert loop_out == batch_out
+    assert [c for c in batch_ledger.charges if c != 0.0] == [
+        c for c in loop_ledger.charges if c != 0.0
+    ]
+    assert batch_ledger.total == loop_ledger.total
+    assert batch_router.packets_processed == loop_router.packets_processed == len(packets)
+
+
+def test_uncompiled_process_batch_falls_back_to_scalar():
+    router = Router(click_configs.firewall_config(), default_cost_model(), CostLedger())
+    router.uncompile()
+    packets = burst(4)
+    assert router.process_batch(packets) == [
+        Router(click_configs.firewall_config(), default_cost_model(), CostLedger()).process(p)
+        for p in packets
+    ]
+
+
+# ----------------------------------------------------------------------
+# gateway: one crossing per burst
+# ----------------------------------------------------------------------
+def test_ecall_batch_single_crossing_and_discount(endbox):
+    gateway = endbox.gateway
+    packets = burst(8)
+
+    gateway.ledger.drain()
+    before = gateway.ecall_count
+    scalar_out = [
+        gateway.ecall("process_packet", p, "egress", MODE, True, payload_bytes=len(p))
+        for p in packets
+    ]
+    scalar_crossings = gateway.ecall_count - before
+    scalar_cost = gateway.ledger.drain()
+
+    before = gateway.ecall_count
+    batch_out = gateway.ecall_batch(
+        "process_packet",
+        [(p, "egress", MODE, True) for p in packets],
+        payload_bytes=sum(len(p) for p in packets),
+    )
+    batch_crossings = gateway.ecall_count - before
+    batch_cost = gateway.ledger.drain()
+
+    assert scalar_crossings == len(packets)
+    assert batch_crossings == 1
+    assert [a for a, _ in scalar_out] == [a for a, _ in batch_out]
+    assert [p.serialize() for _, p in scalar_out] == [p.serialize() for _, p in batch_out]
+    # the only accounting difference: N-1 saved EENTER/EEXIT pairs
+    discount = 2 * gateway.transition_cost * (len(packets) - 1)
+    assert math.isclose(scalar_cost - batch_cost, discount, rel_tol=1e-9)
+
+
+def test_ecall_batch_validates_every_item_before_entering(endbox):
+    gateway = endbox.gateway
+    good = udp_packet()
+    calls = [(good, "egress", MODE, True), (b"not-a-packet", "egress", MODE, True)]
+    before = gateway.ecall_count
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall_batch("process_packet", calls)
+    assert gateway.ecall_count == before  # the enclave was never entered
+
+
+# ----------------------------------------------------------------------
+# the fused process_packet_batch ecall
+# ----------------------------------------------------------------------
+def test_process_packet_batch_matches_scalar_egress(endbox):
+    gateway = endbox.gateway
+    packets = burst(8)
+    scalar_out = [gateway.ecall("process_packet", p, "egress", MODE, True) for p in packets]
+    batch_out = gateway.ecall("process_packet_batch", packets, "egress", MODE, True)
+    assert [a for a, _ in scalar_out] == [a for a, _ in batch_out]
+    assert [p.serialize() for _, p in scalar_out] == [p.serialize() for _, p in batch_out]
+    assert all(p.tos == ENDBOX_PROCESSED_TOS for _, p in batch_out)
+
+
+def test_process_packet_batch_firewall_verdicts(endbox):
+    config = (
+        "f :: FromDevice(); fw :: IPFilter(deny dst port 23, allow all); "
+        "t :: ToDevice(); f -> fw -> t;"
+    )
+    endbox.gateway.ecall("initialize", config, "", sim=Simulator(), payload_bytes=len(config))
+    packets = [udp_packet(dport=23), udp_packet(dport=80), udp_packet(dport=23)]
+    scalar = [endbox.gateway.ecall("process_packet", p, "egress", MODE, True) for p in packets]
+    batched = endbox.gateway.ecall("process_packet_batch", packets, "egress", MODE, True)
+    assert [a for a, _ in batched] == [a for a, _ in scalar] == [False, True, False]
+
+
+def test_process_packet_batch_ingress_bypass_matches_scalar(endbox):
+    gateway = endbox.gateway
+    router = endbox.enclave.trusted_state["click"].router
+    flagged = [udp_packet(tos=ENDBOX_PROCESSED_TOS) for _ in range(3)]
+    unflagged = [udp_packet() for _ in range(2)]
+    packets = [flagged[0], unflagged[0], flagged[1], unflagged[1], flagged[2]]
+
+    before = router.packets_processed
+    scalar_out = [gateway.ecall("process_packet", p, "ingress", MODE, True) for p in packets]
+    scalar_clicked = router.packets_processed - before
+
+    before = router.packets_processed
+    batch_out = gateway.ecall("process_packet_batch", packets, "ingress", MODE, True)
+    batch_clicked = router.packets_processed - before
+
+    assert [a for a, _ in scalar_out] == [a for a, _ in batch_out]
+    assert scalar_clicked == batch_clicked == len(unflagged)  # flagged ones bypass Click
+
+
+def test_process_packet_batch_cost_matches_scalar_modulo_discount(endbox):
+    gateway = endbox.gateway
+    packets = burst(16, payload_bytes=700)
+    gateway.ledger.drain()
+    for p in packets:
+        gateway.ecall("process_packet", p, "egress", MODE, True, payload_bytes=len(p))
+    scalar_cost = gateway.ledger.drain()
+    gateway.ecall(
+        "process_packet_batch",
+        packets,
+        "egress",
+        MODE,
+        True,
+        payload_bytes=sum(len(p) for p in packets),
+    )
+    batch_cost = gateway.ledger.drain()
+    discount = 2 * gateway.transition_cost * (len(packets) - 1)
+    assert math.isclose(scalar_cost - batch_cost, discount, rel_tol=1e-9)
+
+
+def test_process_packet_batch_single_item_costs_exactly_scalar(endbox):
+    gateway = endbox.gateway
+    packet = udp_packet(make_payload(700))
+    gateway.ledger.drain()
+    gateway.ecall("process_packet", packet, "egress", MODE, True, payload_bytes=len(packet))
+    scalar_cost = gateway.ledger.drain()
+    gateway.ecall(
+        "process_packet_batch", [packet], "egress", MODE, True, payload_bytes=len(packet)
+    )
+    batch_cost = gateway.ledger.drain()
+    assert math.isclose(scalar_cost, batch_cost, rel_tol=1e-12)
+
+
+def test_process_packet_batch_validator_rejects(endbox):
+    gateway = endbox.gateway
+    good = udp_packet()
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("process_packet_batch", "not-a-list", "egress", MODE, True)
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("process_packet_batch", [], "egress", MODE, True)
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("process_packet_batch", [good, b"junk"], "egress", MODE, True)
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("process_packet_batch", [good], "sideways", MODE, True)
+    with pytest.raises(InterfaceViolation):
+        gateway.ecall("process_packet_batch", [good] * 4097, "egress", MODE, True)
+
+
+# ----------------------------------------------------------------------
+# the batched client
+# ----------------------------------------------------------------------
+def test_ecall_batching_requires_single_ecall_optimization():
+    with pytest.raises(ValueError, match="single-ecall"):
+        build_deployment(ecall_batching=True, single_ecall_optimization=False)
+
+
+def test_ecall_batch_limit_must_allow_batching():
+    with pytest.raises(ValueError, match="batch"):
+        build_deployment(ecall_batching=True, ecall_batch_limit=1)
+
+
+def test_default_deployment_stays_scalar():
+    world = build_deployment()
+    client = world.clients[0]
+    assert client.ecall_batching is False
+    assert client.ecall_bursts == 0
+
+
+def test_batched_client_forms_bursts_and_delivers():
+    world = build_deployment(ecall_batching=True, seed=b"fastpath")
+    world.connect_all()
+    client = world.clients[0]
+    sink = UdpSink(world.internal, 5201)
+    source = UdpTrafficSource(
+        client.host, world.internal.address, 5201, rate_bps=900e6, packet_bytes=1500
+    )
+    source.start()
+    world.sim.run(until=world.sim.now + 0.02)
+    source.stop()
+    world.sim.run(until=world.sim.now + 0.05)  # drain the backlog
+
+    assert sink.packets > 0
+    assert client.ecall_bursts > 0
+    per_crossing = client.ecall_burst_packets / client.ecall_bursts
+    assert per_crossing > 1.0  # saturating load must actually batch
+    assert client.ecall_burst_packets <= client.ecall_bursts * client.ecall_batch_limit
