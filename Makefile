@@ -1,7 +1,7 @@
 # EndBox reproduction - common targets
 PYTHON ?= python
 
-.PHONY: install test lint bench experiments experiments-quick security coverage clean
+.PHONY: install test lint check bench experiments experiments-quick security coverage clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -11,6 +11,12 @@ test:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+
+# Pre-PR gate: secret-flow lint, the full test suite, and a figure-10
+# byte-identity smoke.  All three must pass before a change ships.
+check: lint
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_experiments_smoke.py -q -k "fig10 or deterministic"
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.perf --json BENCH_micro.json

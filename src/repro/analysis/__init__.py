@@ -21,12 +21,20 @@ This package makes them machine-checked on every tree:
   and no unreachable elements — checked offline here and again at
   config load before a reconfiguration commits
   (:mod:`~repro.analysis.graphcheck`).
+* **Secret-flow analysis** (:mod:`~repro.analysis.checkers.taint`):
+  interprocedural dataflow from registered secret sources
+  (:mod:`~repro.analysis.secrets` — key schedules, private scalars,
+  session secrets, sealing keys) into untrusted sinks (ocall arguments,
+  trace/log events, exception messages, packet payloads, artifact
+  writers), cut only by declared sanitizers or explicit
+  ``declassify`` annotations.
 
 Run it as ``python -m repro.analysis src/`` (or ``make lint``); see
 README.md for the baseline workflow.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.dataflow import Summary, TaintAnalysis
 from repro.analysis.engine import (
     AnalysisReport,
     Analyzer,
@@ -37,6 +45,7 @@ from repro.analysis.engine import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.graphcheck import ClickGraphError, GraphIssue, check_config_text, validate_parsed
+from repro.analysis.secrets import Declassification, declassify_rules, registry_declassified
 from repro.analysis.trustmap import TrustDomain, trust_domain
 
 __all__ = [
@@ -46,14 +55,19 @@ __all__ = [
     "BaselineEntry",
     "Checker",
     "ClickGraphError",
+    "Declassification",
     "Finding",
     "GraphIssue",
     "ModuleInfo",
     "Severity",
+    "Summary",
+    "TaintAnalysis",
     "TrustDomain",
     "analyze_paths",
     "analyze_source",
     "check_config_text",
+    "declassify_rules",
+    "registry_declassified",
     "trust_domain",
     "validate_parsed",
 ]

@@ -22,7 +22,7 @@ from typing import List, Optional
 from repro.analysis.baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
 from repro.analysis.checkers import all_rules, default_checkers
 from repro.analysis.engine import Analyzer
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +39,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -130,6 +130,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return 0 if report.clean else 1

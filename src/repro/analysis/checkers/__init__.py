@@ -4,6 +4,7 @@
 * ``determinism`` — simulation determinism (DET4xx)
 * ``interface`` — gateway/Iago interface audit (IF2xx)
 * ``clickgraph`` — Click configuration graph validation (CG3xx)
+* ``taint`` — interprocedural secret-flow analysis (TF5xx)
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from repro.analysis.checkers.boundary import BoundaryChecker
 from repro.analysis.checkers.clickgraph import ClickGraphChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.interface import InterfaceChecker
+from repro.analysis.checkers.taint import TaintChecker
 from repro.analysis.engine import Checker
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "ClickGraphChecker",
     "DeterminismChecker",
     "InterfaceChecker",
+    "TaintChecker",
     "all_rules",
     "default_checkers",
 ]
@@ -33,6 +36,7 @@ def default_checkers() -> List[Checker]:
         DeterminismChecker(),
         InterfaceChecker(),
         ClickGraphChecker(),
+        TaintChecker(),
     ]
 
 

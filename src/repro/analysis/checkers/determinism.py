@@ -10,10 +10,14 @@ perturbs every existing consumer whenever a new caller appears.
 
 * **DET401** — wall-clock time in simulation-domain code
   (``time.time``, ``datetime.now``, ...).
-* **DET402** — OS entropy (``os.urandom``, ``secrets.*``, ``uuid.uuid1/4``,
+* **DET402** — OS entropy (``os.urandom``, any ``secrets.*`` call except
+  the entropy-free ``secrets.compare_digest``, ``uuid.uuid1/4``,
   ``random.SystemRandom``).
 * **DET403** — module-level ``random.*`` call (the shared global stream);
   seeded ``random.Random(...)`` instances are fine.
+* **DET404** — environment-dependent behaviour (``os.environ`` reads,
+  ``os.getenv``): results silently change between machines/shells, so
+  simulation code must take configuration as explicit arguments.
 
 Genuinely host-side code (the experiment runner's human-facing elapsed
 time, this linter) is exempted via
@@ -49,17 +53,20 @@ OS_ENTROPY_CALLS = frozenset(
     {
         "os.urandom",
         "os.getrandom",
-        "secrets.token_bytes",
-        "secrets.token_hex",
-        "secrets.token_urlsafe",
-        "secrets.randbelow",
-        "secrets.randbits",
-        "secrets.choice",
         "uuid.uuid1",
         "uuid.uuid4",
         "random.SystemRandom",
     }
 )
+
+#: the one ``secrets`` member that draws no entropy (constant-time
+#: comparison); everything else in the module is an OS entropy source.
+SECRETS_MODULE_OK = frozenset({"secrets.compare_digest"})
+
+#: environment reads: flagged as attribute access (``os.environ[...]``,
+#: ``os.environ.get``) and as calls (``os.getenv``).
+ENVIRON_ATTRS = frozenset({"os.environ", "os.environb"})
+ENVIRON_CALLS = frozenset({"os.getenv", "os.getenvb"})
 
 #: the only members of the global ``random`` module that are fine to
 #: call: constructing an explicitly seeded, private generator.
@@ -72,6 +79,7 @@ class DeterminismChecker(Checker):
         "DET401": "wall-clock time in simulation-domain code (use the sim clock)",
         "DET402": "OS entropy in simulation-domain code (use sim.randomness.SeededRng)",
         "DET403": "global random-module call in simulation-domain code (use SeededRng)",
+        "DET404": "os.environ-dependent behaviour in simulation-domain code",
     }
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
@@ -83,12 +91,37 @@ class DeterminismChecker(Checker):
         imports = ImportMap(module.tree)
         findings: List[Finding] = []
         for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                origin = imports.resolve(node)
+                if origin in ENVIRON_ATTRS:
+                    findings.append(
+                        self.finding(
+                            "DET404",
+                            Severity.ERROR,
+                            module,
+                            node,
+                            f"{origin} read makes behaviour depend on the host "
+                            "environment; pass configuration explicitly",
+                        )
+                    )
+                continue
             if not isinstance(node, ast.Call):
                 continue
             origin = imports.resolve(node.func)
             if origin is None:
                 continue
-            if origin in WALL_CLOCK_CALLS:
+            if origin in ENVIRON_CALLS:
+                findings.append(
+                    self.finding(
+                        "DET404",
+                        Severity.ERROR,
+                        module,
+                        node,
+                        f"{origin}() makes behaviour depend on the host "
+                        "environment; pass configuration explicitly",
+                    )
+                )
+            elif origin in WALL_CLOCK_CALLS:
                 findings.append(
                     self.finding(
                         "DET401",
@@ -99,7 +132,11 @@ class DeterminismChecker(Checker):
                         "the sim clock (sim.now / TrustedTime)",
                     )
                 )
-            elif origin in OS_ENTROPY_CALLS:
+            elif origin in OS_ENTROPY_CALLS or (
+                origin.startswith("secrets.")
+                and origin.count(".") == 1
+                and origin not in SECRETS_MODULE_OK
+            ):
                 findings.append(
                     self.finding(
                         "DET402",

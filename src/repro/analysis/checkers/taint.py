@@ -1,0 +1,84 @@
+"""Secret-flow lint (TF5xx): the paper's secrecy invariant, machine-checked.
+
+EndBox argues (§V-A) that key material and middlebox-decrypted plaintext
+never leave the attested enclave.  This pass runs the interprocedural
+dataflow of :mod:`~repro.analysis.dataflow` over the whole tree and
+reports flows from a registered secret source
+(:mod:`~repro.analysis.secrets`) into an untrusted sink:
+
+* **TF501** — ocall arguments (data handed to the untrusted host).
+* **TF502** — trace/log/print events (``netsim.trace``, loggers).
+* **TF503** — exception messages (secrets interpolated at ``raise``).
+* **TF504** — packet payload construction outside the enclave.
+* **TF505** — JSON/benchmark artifact writers.
+* **TF506** — externally-injected export hooks.
+
+Flows through a declared sanitizer (protect/encrypt/seal/MAC/hash) are
+clean by construction.  Intentional exposure is *declassified*: inline
+``# endbox-lint: declassify(TF506)`` on the sink line (``TF5xx`` covers
+the family), or an entry in ``secrets.DECLASSIFICATIONS`` carrying the
+justification — the keylog path of §III-D lives there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.dataflow import RawFinding, TaintAnalysis
+from repro.analysis.engine import Checker, ModuleInfo
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.secrets import TF_RULES, declassify_rules, registry_declassified
+
+
+class TaintChecker(Checker):
+    name = "taint"
+    rules = dict(TF_RULES)
+
+    def __init__(self) -> None:
+        self._modules: List[ModuleInfo] = []
+        #: (finding, justification) pairs removed by declassification,
+        #: kept for reporting/tests
+        self.declassified: List[Tuple[Finding, str]] = []
+
+    def begin(self, modules: Sequence[ModuleInfo]) -> None:
+        """Receive the whole module set before per-module checks run."""
+        self._modules = list(modules)
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        return ()  # the analysis is inherently cross-module; see finish()
+
+    def finish(self) -> Iterable[Finding]:
+        if not self._modules:
+            return []
+        raw = TaintAnalysis(self._modules).run()
+        findings: List[Finding] = []
+        for hit in raw:
+            finding = self._to_finding(hit)
+            if self._declassified(hit, finding):
+                continue
+            findings.append(finding)
+        self._modules = []
+        return findings
+
+    # ------------------------------------------------------------------
+    def _to_finding(self, hit: RawFinding) -> Finding:
+        return self.finding(
+            hit.rule,
+            Severity.ERROR,
+            hit.module,
+            hit.node,
+            hit.message,
+            symbol=hit.symbol,
+        )
+
+    def _declassified(self, hit: RawFinding, finding: Finding) -> bool:
+        """Inline ``declassify(...)`` comment or registry entry match."""
+        rules = declassify_rules(hit.module.line_text(finding.line))
+        if rules is not None and (finding.rule in rules or "TF5xx" in rules):
+            self.declassified.append((finding, "inline declassify annotation"))
+            return True
+        entry = registry_declassified(finding)
+        if entry is not None:
+            self.declassified.append((finding, entry.note))
+            return True
+        return False

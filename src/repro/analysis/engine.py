@@ -128,6 +128,10 @@ class Checker:
     name = "base"
     rules: Dict[str, str] = {}
 
+    def begin(self, modules: Sequence["ModuleInfo"]) -> None:
+        """See the whole module set before per-module checks (for
+        cross-module passes that need a global call graph)."""
+
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         """Findings for one module (override in concrete passes)."""
         return ()
@@ -275,6 +279,7 @@ class Analyzer:
         findings: List[Finding] = []
         by_path = {module.path: module for module in modules}
         for checker in self.checkers:
+            checker.begin(modules)
             for module in modules:
                 findings.extend(checker.check_module(module))
             findings.extend(checker.finish())

@@ -43,3 +43,59 @@ def render_text(report: AnalysisReport, verbose: bool = False) -> str:
 def render_json(report: AnalysisReport) -> str:
     """Machine-facing report (consumed by tests/test_analysis.py)."""
     return json.dumps(report.to_dict(), indent=2)
+
+
+#: finding severity -> SARIF result level
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0 output, for standard code-scanning UIs."""
+    from repro.analysis.checkers import all_rules  # local: avoids an import cycle
+
+    results = []
+    for finding in report.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": _SARIF_LEVELS.get(finding.severity.value, "warning"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "endbox-lint",
+                        "informationUri": "https://example.invalid/endbox-lint",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": description},
+                            }
+                            for rule, description in all_rules().items()
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -43,9 +43,9 @@ class ConfigError(EnclaveError):
     """A configuration bundle was rejected inside the enclave."""
 
 
-def serialize_ca_public_key(key: RsaPublicKey) -> bytes:
+def serialize_ca_public_key(public_key: RsaPublicKey) -> bytes:
     """Encode an RSA public key for enclave initial data."""
-    return json.dumps({"n": str(key.n), "e": key.e}).encode()
+    return json.dumps({"n": str(public_key.n), "e": public_key.e}).encode()
 
 
 def parse_ca_public_key(data: bytes) -> RsaPublicKey:
@@ -119,7 +119,8 @@ def ecall_seal_state(enclave, gateway, storage) -> bool:
     shared = state.get("shared_config_key")
     if identity is None or certificate is None or shared is None:
         raise ProvisioningError("nothing to seal: provisioning incomplete")
-    blob = json.dumps(
+    # serialized only to be sealed on the next line, never exposed raw
+    blob = json.dumps(  # endbox-lint: declassify(TF505)
         {
             "identity": identity._private.hex(),
             "certificate": certificate.serialize().decode(),

@@ -108,7 +108,7 @@ class ServerHello:
             raise TlsAlert(f"malformed ServerHello: {exc}") from exc
 
 
-@dataclass
+@dataclass(repr=False)
 class SessionKeys:
     """Both directions' traffic secrets plus identifiers."""
 
@@ -117,6 +117,18 @@ class SessionKeys:
     version: str
     suite: str
     transcript: bytes
+
+    def __repr__(self) -> str:
+        # never the raw traffic secrets: lengths + digests only, so
+        # debug output and assertion messages cannot leak key bytes
+        return (
+            f"SessionKeys(version={self.version!r}, suite={self.suite!r}, "
+            f"client_write=<{len(self.client_write)}B "
+            f"sha256:{sha256(self.client_write).hex()[:12]}>, "
+            f"server_write=<{len(self.server_write)}B "
+            f"sha256:{sha256(self.server_write).hex()[:12]}>, "
+            f"transcript=sha256:{sha256(self.transcript).hex()[:12]})"
+        )
 
     def finished_mac(self, role: str) -> bytes:
         """The Finished MAC for the given role."""

@@ -81,7 +81,7 @@ def issue_certificate(
     return Certificate(subject, public_key, not_after_version, ca.sign(unsigned.signed_body()))
 
 
-@dataclass
+@dataclass(repr=False)
 class SessionSecrets:
     """Directional data-channel keys derived from the handshake."""
 
@@ -91,6 +91,18 @@ class SessionSecrets:
     server_hmac: bytes
     session_id: int
     confirmation: bytes
+
+    def __repr__(self) -> str:
+        # never the raw channel keys: a digest over all four directional
+        # keys identifies the session without exposing a single key byte
+        fingerprint = sha256(
+            self.client_cipher + self.client_hmac + self.server_cipher + self.server_hmac
+        ).hex()[:12]
+        return (
+            f"SessionSecrets(session_id={self.session_id}, "
+            f"keys=<4x16B sha256:{fingerprint}>, "
+            f"confirmation=<{len(self.confirmation)}B>)"
+        )
 
 
 def _derive(shared_material: bytes, transcript: bytes) -> SessionSecrets:

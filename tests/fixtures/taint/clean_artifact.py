@@ -1,0 +1,19 @@
+# module: repro.experiments.fixture_artifact_clean
+# expect: none
+"""Sanitized variant: artifacts carry digests and counters only."""
+
+import json
+
+from repro.crypto.hashes import sha256_hex
+
+
+def dump_report(path, session):
+    """A key fingerprint identifies the session without exposing it."""
+    payload = json.dumps(
+        {
+            "throughput": 42.0,
+            "session_id": session.session_id,
+            "key_fingerprint": sha256_hex(session.secrets.client_cipher)[:12],
+        }
+    )
+    path.write_text(payload)

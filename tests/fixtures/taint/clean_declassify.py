@@ -1,0 +1,11 @@
+# module: repro.sgx.fixture_declassify
+# expect: none
+"""Intentional exposure carrying an explicit declassify annotation."""
+
+import json
+
+
+def seal_credentials(storage, enclave, identity_key):
+    """Serializes the key only to seal it on the very next line."""
+    blob = json.dumps({"identity": identity_key.hex()})  # endbox-lint: declassify(TF505)
+    storage.seal(enclave, "fixture-credentials", blob.encode())

@@ -1,0 +1,9 @@
+# module: repro.crypto.fixture_exception_clean
+# expect: none
+"""Sanitized variant: the message carries only the key's length."""
+
+
+def check_key(key):
+    """Raises with a length, never the bytes."""
+    if len(key) != 16:
+        raise ValueError(f"bad key: expected 16 bytes, got {len(key)}")

@@ -1,0 +1,11 @@
+# module: repro.sgx.fixture_ocall_clean
+# expect: none
+"""Sanitized variant: only a length and a MAC tag cross the boundary."""
+
+from repro.crypto.hmac import hmac_sha256
+
+
+def report(gateway, key):
+    """Exposes nothing an attacker can invert."""
+    gateway.ocall("telemetry", len(key))
+    gateway.ocall("audit", hmac_sha256(key, b"audit", b"epoch-1"))

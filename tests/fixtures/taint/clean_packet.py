@@ -1,0 +1,11 @@
+# module: repro.core.fixture_packet_clean
+# expect: none
+"""Sanitized variant: only protected (encrypted+MACed) bytes hit the wire."""
+
+from repro.netsim.packet import UdpDatagram
+
+
+def send(channel, inner):
+    """Ciphertext from the data channel is safe to encapsulate."""
+    wire = channel.protect(inner)
+    return UdpDatagram(src_port=5000, dst_port=5001, payload=wire)

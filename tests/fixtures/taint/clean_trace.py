@@ -1,0 +1,9 @@
+# module: repro.core.fixture_trace_clean
+# expect: none
+"""Sanitized variant: only public handshake metadata is printed."""
+
+
+def debug_session(session):
+    """Prints nothing secret: the transcript hash and counters are public."""
+    print(f"session transcript: {session.transcript}")
+    print(f"packets protected: {session.packets_protected}")

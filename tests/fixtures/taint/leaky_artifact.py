@@ -1,0 +1,11 @@
+# module: repro.experiments.fixture_artifact
+# expect: TF505
+"""Seeded leak: a VPN channel key written into a benchmark artifact."""
+
+import json
+
+
+def dump_report(path, session):
+    """Serializes the raw client cipher key into a results file."""
+    payload = json.dumps({"throughput": 42.0, "key": session.secrets.client_cipher.hex()})
+    path.write_text(payload)

@@ -1,0 +1,9 @@
+# module: repro.crypto.fixture_exception
+# expect: TF503
+"""Seeded leak: raw key bytes interpolated into an exception message."""
+
+
+def check_key(key):
+    """Raises with the key itself in the message."""
+    if len(key) != 16:
+        raise ValueError(f"bad key {key!r}")

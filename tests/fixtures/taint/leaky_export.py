@@ -1,0 +1,14 @@
+# module: repro.tlslib.fixture_export
+# expect: TF506
+"""Seeded leak: session keys handed to an externally-injected hook."""
+
+
+class Library:
+    """Minimal stand-in for a TLS library with a key-export callback."""
+
+    def __init__(self, key_export):
+        self.key_export = key_export
+
+    def after_handshake(self, keys):
+        """Forwards the session keys to whoever registered the hook."""
+        self.key_export(keys)

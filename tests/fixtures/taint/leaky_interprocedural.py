@@ -1,0 +1,18 @@
+# module: repro.crypto.fixture_inter
+# expect: TF502
+"""Seeded interprocedural leak: the sink is one call away from the secret.
+
+``emit`` alone is innocent — its parameter only *might* be secret.  The
+caller supplies actual key material, so the finding lands at the call
+site with the callee named in the message.
+"""
+
+
+def emit(value):
+    """Prints whatever it is given (a latent sink)."""
+    print(f"debug: {value}")
+
+
+def report_key(key):
+    """Feeds the key into the latent sink."""
+    emit(key)

@@ -1,0 +1,8 @@
+# module: repro.sgx.fixture_ocall
+# expect: TF501
+"""Seeded leak: raw key material escapes the enclave through an ocall."""
+
+
+def leak(gateway, key):
+    """Hands the key itself to the untrusted host."""
+    gateway.ocall("telemetry", key)

@@ -1,0 +1,10 @@
+# module: repro.core.fixture_packet
+# expect: TF504
+"""Seeded leak: a traffic secret becomes a packet payload outside the enclave."""
+
+from repro.netsim.packet import UdpDatagram
+
+
+def exfiltrate(session):
+    """Puts the client traffic secret on the simulated wire in clear."""
+    return UdpDatagram(src_port=5000, dst_port=5001, payload=session.keys.client_write)

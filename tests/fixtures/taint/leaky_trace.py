@@ -1,0 +1,8 @@
+# module: repro.core.fixture_trace
+# expect: TF502
+"""Seeded leak: TLS session keys end up in a debug print."""
+
+
+def debug_session(session):
+    """Prints the session's traffic secrets."""
+    print(f"session keys: {session.keys}")

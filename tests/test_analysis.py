@@ -54,9 +54,9 @@ def test_shipped_tree_is_clean():
     )
 
 
-def test_all_four_passes_run():
+def test_all_five_passes_run():
     report = analyze_paths([SRC])
-    assert report.checkers == ["boundary", "determinism", "interface", "clickgraph"]
+    assert report.checkers == ["boundary", "determinism", "interface", "clickgraph", "taint"]
 
 
 # ----------------------------------------------------------------------
@@ -500,6 +500,7 @@ def test_cli_json_format_is_machine_readable():
         "determinism",
         "interface",
         "clickgraph",
+        "taint",
     }
     assert payload["findings"] == []
 
