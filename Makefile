@@ -12,11 +12,13 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
-# Pre-PR gate: secret-flow lint, the full test suite, and a figure-10
-# byte-identity smoke.  All three must pass before a change ships.
+# Pre-PR gate: secret-flow lint, the full test suite, a figure-10
+# byte-identity smoke, and the telemetry differential smoke (recording
+# on vs off must not change a single packet byte).
 check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_experiments_smoke.py -q -k "fig10 or deterministic"
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_telemetry.py -q -k "identical_with_telemetry"
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.perf --json BENCH_micro.json

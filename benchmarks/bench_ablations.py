@@ -13,27 +13,27 @@ def test_consensus_ablation(once, benchmark):
     print("\n" + result.to_text())
     # Paxos needs more config-plane messages than EndBox's client-server flow
     for n in (5, 20):
-        assert result.paxos_messages[n] > result.endbox_messages[n]
+        assert result.series["paxos_messages"][n] > result.series["endbox_messages"][n]
     # contention inflates Paxos message cost further
-    assert result.duel_contended_messages > result.duel_single_messages
+    assert result.metadata["duel_contended_messages"] > result.metadata["duel_single_messages"]
     # the decisive §VI claim: no quorum -> no management at all,
     # while EndBox updates every connected client
-    assert result.offline_paxos_failed
-    assert result.offline_endbox_updated == result.offline_endbox_total
+    assert result.metadata["offline_paxos_failed"]
+    assert result.metadata["offline_endbox_updated"] == result.metadata["offline_endbox_total"]
     # both complete a WAN rollout within ~1 s when healthy
-    assert result.endbox_latency_ms[20] < 1500
-    assert result.paxos_latency_ms[20] < 1500
+    assert result.series["endbox_latency_ms"][20] < 1500
+    assert result.series["paxos_latency_ms"][20] < 1500
 
 
 def test_epc_pressure_ablation(once, benchmark):
     result = once(benchmark, ablation_epc.run, heap_sizes_mb=(8, 120, 256))
     print("\n" + result.to_text())
-    in_epc_small = result.throughput_mbps[8]
-    in_epc_full = result.throughput_mbps[120]
-    oversubscribed = result.throughput_mbps[256]
+    in_epc_small = result.series["throughput_mbps"][8]
+    in_epc_full = result.series["throughput_mbps"][120]
+    oversubscribed = result.series["throughput_mbps"][256]
     # no penalty while the enclave fits the EPC...
     assert in_epc_full > 0.97 * in_epc_small
-    assert result.paging_fraction[120] == 0.0
+    assert result.series["paging_fraction"][120] == 0.0
     # ...and a collapse once it does not (paper §II-C: "substantial")
     assert oversubscribed < 0.65 * in_epc_full
-    assert result.paging_fraction[256] > 0.4
+    assert result.series["paging_fraction"][256] > 0.4

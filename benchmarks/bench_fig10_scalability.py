@@ -12,10 +12,10 @@ COUNTS = (1, 20, 40, 60)
 def test_fig10a_nop_scalability(once, benchmark):
     result = once(benchmark, fig10_scalability.run_fig10a, counts=COUNTS)
     print("\n" + result.to_text())
-    vanilla = result.throughput_gbps["vanilla OpenVPN"]
-    endbox = result.throughput_gbps["EndBox SGX"]
-    click = result.throughput_gbps["vanilla Click"]
-    ovpn_click = result.throughput_gbps["OpenVPN+Click"]
+    vanilla = result.series["vanilla OpenVPN"]
+    endbox = result.series["EndBox SGX"]
+    click = result.series["vanilla Click"]
+    ovpn_click = result.series["OpenVPN+Click"]
 
     # linear region: throughput tracks offered load
     for series in (vanilla, endbox, click, ovpn_click):
@@ -30,10 +30,11 @@ def test_fig10a_nop_scalability(once, benchmark):
     assert 1.8 < ovpn_click[40] < 3.2
     assert ovpn_click[60] <= ovpn_click[40] + 0.05
     # server CPU saturates for the VPN set-ups at 60 clients
-    assert result.cpu_percent["vanilla OpenVPN"][60] > 95
-    assert result.cpu_percent["OpenVPN+Click"][60] > 95
+    cpu = result.metadata["cpu_percent"]
+    assert cpu["vanilla OpenVPN"][60] > 95
+    assert cpu["OpenVPN+Click"][60] > 95
     # ... but not for single-threaded standalone Click
-    assert result.cpu_percent["vanilla Click"][60] < 40
+    assert cpu["vanilla Click"][60] < 40
 
 
 def test_fig10b_use_case_scalability(once, benchmark):
@@ -42,11 +43,11 @@ def test_fig10b_use_case_scalability(once, benchmark):
     )
     print("\n" + result.to_text())
     # EndBox hits the same ~6.5 Gbps ceiling for every use case
-    assert 5.8 < result.throughput_gbps["EndBox SGX FW"][60] < 7.2
-    assert 5.8 < result.throughput_gbps["EndBox SGX IDPS"][60] < 7.2
+    assert 5.8 < result.series["EndBox SGX FW"][60] < 7.2
+    assert 5.8 < result.series["EndBox SGX IDPS"][60] < 7.2
     # the centralised deployment caps far lower, worse for heavy functions
-    fw_central = result.throughput_gbps["OpenVPN+Click FW"][60]
-    idps_central = result.throughput_gbps["OpenVPN+Click IDPS"][60]
+    fw_central = result.series["OpenVPN+Click FW"][60]
+    idps_central = result.series["OpenVPN+Click IDPS"][60]
     assert fw_central < 3.2
     assert idps_central < fw_central
     # paper: 2.6x (light) to 3.8x (heavy) advantage at 60 clients

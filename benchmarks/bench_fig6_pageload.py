@@ -6,12 +6,14 @@ from repro.experiments import fig6_pageload
 def test_fig6_pageload_cdf(once, benchmark):
     result = once(benchmark, fig6_pageload.run, n_pages=25)
     print("\n" + result.to_text())
-    assert len(result.samples_direct) == len(result.samples_endbox) == 25
+    meta = result.metadata
+    assert len(meta["samples_direct"]) == len(meta["samples_endbox"]) == 25
     # load times have a realistic spread (sub-second to multi-second)
-    assert result.percentiles_direct[10] < 2.0
-    assert result.percentiles_direct[90] > 1.0
+    direct, endbox = result.series["direct"], result.series["EndBox"]
+    assert direct[10] < 2.0
+    assert direct[90] > 1.0
     # the paper's claim: the two CDFs are nearly identical
-    assert result.max_gap < 0.03, f"CDF gap {result.max_gap:.1%}"
+    assert meta["max_gap"] < 0.03, f"CDF gap {meta['max_gap']:.1%}"
     # and EndBox never *improves* latency (sanity of the comparison)
     for p in (50, 90):
-        assert result.percentiles_endbox[p] >= result.percentiles_direct[p] * 0.999
+        assert endbox[p] >= direct[p] * 0.999

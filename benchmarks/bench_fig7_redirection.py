@@ -6,7 +6,7 @@ from repro.experiments import fig7_redirection
 def test_fig7_redirection_rtt(once, benchmark):
     result = once(benchmark, fig7_redirection.run)
     print("\n" + result.to_text())
-    measured = result.measured
+    measured = result.series["ping RTT"]
     base = measured["no redirection"]
     # the paper's ordering: none <= local <= EndBox << eu-central << us-east
     assert base <= measured["local redirection"] + 0.05
@@ -19,5 +19,5 @@ def test_fig7_redirection_rtt(once, benchmark):
     assert (measured["AWS eu-central"] - base) / base > 0.40
     assert (measured["AWS us-east"] - base) / base > 10
     # absolute values within 10 % of the paper
-    for method, paper_ms in result.paper.items():
+    for method, paper_ms in result.paper["ping RTT"].items():
         assert abs(measured[method] - paper_ms) / paper_ms < 0.10, method

@@ -12,14 +12,14 @@ from repro.experiments import fig8_packet_size
 def test_fig8_throughput_series(once, benchmark):
     sizes = (256, 1500, 65536)
     result = once(benchmark, fig8_packet_size.run, sizes=sizes, duration=0.05)
-    vanilla = result.measured["vanilla OpenVPN"]
-    sgx = result.measured["EndBox SGX"]
-    sim = result.measured["EndBox SIM"]
-    click = result.measured["OpenVPN+Click"]
+    vanilla = result.series["vanilla OpenVPN"]
+    sgx = result.series["EndBox SGX"]
+    sim = result.series["EndBox SIM"]
+    click = result.series["OpenVPN+Click"]
     print("\n" + result.to_text())
 
     # throughput grows with packet size for every set-up
-    for series in result.measured.values():
+    for series in result.series.values():
         assert series[256] < series[1500] < series[65536]
     # EndBox SIM costs little over vanilla (paper: 2-13 %)
     for size in sizes:

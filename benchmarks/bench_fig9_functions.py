@@ -5,8 +5,8 @@ from repro.experiments import fig9_functions
 
 def test_fig9_function_throughput(once, benchmark):
     result = once(benchmark, fig9_functions.run, duration=0.05)
-    click = result.measured["OpenVPN+Click"]
-    endbox = result.measured["EndBox SGX"]
+    click = result.series["OpenVPN+Click"]
+    endbox = result.series["EndBox SGX"]
     print("\n" + result.to_text())
 
     # server-side Click barely dents throughput (paper: worst case -13 %)
@@ -23,7 +23,7 @@ def test_fig9_function_throughput(once, benchmark):
         overhead = 1 - endbox[use_case] / click[use_case]
         assert 0.28 < overhead < 0.50, f"{use_case}: {overhead:.0%}"
     # every measured point within 15 % of the paper's value
-    for series, points in result.measured.items():
+    for series, points in result.series.items():
         for use_case, mbps in points.items():
             paper = fig9_functions.PAPER[series][use_case]
             assert abs(mbps - paper) / paper < 0.15, f"{series}/{use_case}"

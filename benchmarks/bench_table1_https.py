@@ -6,9 +6,9 @@ from repro.experiments import table1_https_latency
 def test_table1_https_latency(once, benchmark):
     result = once(benchmark, table1_https_latency.run, repeats=3)
     print("\n" + result.to_text())
-    with_dec = result.measured["EndBox OpenSSL w/ dec"]
-    without_dec = result.measured["EndBox OpenSSL w/o dec"]
-    vanilla = result.measured["vanilla OpenSSL w/o dec"]
+    with_dec = result.series["EndBox OpenSSL w/ dec"]
+    without_dec = result.series["EndBox OpenSSL w/o dec"]
+    vanilla = result.series["vanilla OpenSSL w/o dec"]
     for size in (4096, 16384, 32768):
         # latency grows with response size
         assert vanilla[4096] <= vanilla[32768]
@@ -19,7 +19,7 @@ def test_table1_https_latency(once, benchmark):
         # (allow 15 % against our own baseline for simulator noise)
         assert with_dec[size] / vanilla[size] < 1.15, f"size {size}"
     # absolute values in the paper's ballpark (±25 %)
-    for config, points in result.measured.items():
+    for config, points in result.series.items():
         for size, ms in points.items():
             paper = table1_https_latency.PAPER_MS[config][size]
             assert abs(ms - paper) / paper < 0.25, f"{config}/{size}"

@@ -6,16 +6,16 @@ from repro.experiments import table2_reconfig
 def test_table2_reconfiguration_phases(once, benchmark):
     result = once(benchmark, table2_reconfig.run)
     print("\n" + result.to_text())
-    vanilla = result.measured["vanilla Click"]
-    endbox = result.measured["EndBox"]
+    vanilla = result.series["vanilla Click"]
+    endbox = result.series["EndBox"]
     # EndBox's traffic-affecting phase takes ~30 % of vanilla Click's
-    ratio = result.endbox_vs_vanilla_hotswap
+    ratio = result.metadata["endbox_vs_vanilla_hotswap"]
     assert 0.2 < ratio < 0.45, f"hotswap ratio {ratio:.2f}"
     # fetch and decryption happen in the background and stay small
     assert endbox["fetch"] < 1.5
     assert endbox["decryption"] < 0.2
     # every phase within 20 % of the paper's timing
-    for system, phases in result.measured.items():
+    for system, phases in result.series.items():
         for phase, ms in phases.items():
             paper = table2_reconfig.PAPER_MS[system][phase]
             if paper:

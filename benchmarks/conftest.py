@@ -10,23 +10,23 @@ regeneration.  Run with::
 
 import pytest
 
-from repro.click.router import Router
-from repro.sim.engine import Simulator
+from repro.telemetry import Registry
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a deterministic experiment exactly once under the harness.
 
     Wall-clock alone says little about a simulation bench, so the
-    process-wide work counters are snapshotted around the run and the
+    process-root telemetry registry is snapshotted around the run and the
     derived ops/sec rates are attached as ``extra_info`` — they land in
     ``--benchmark-json`` output next to the timing stats.
     """
-    events_before = Simulator.events_executed_total
-    packets_before = Router.packets_processed_total
+    root = Registry.process_root()
+    events_before = root.value("sim.engine.events")
+    packets_before = root.value("click.router.packets")
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
-    events = Simulator.events_executed_total - events_before
-    packets = Router.packets_processed_total - packets_before
+    events = root.value("sim.engine.events") - events_before
+    packets = root.value("click.router.packets") - packets_before
     benchmark.extra_info["sim_events_executed"] = events
     benchmark.extra_info["click_packets_processed"] = packets
     elapsed = getattr(getattr(benchmark, "stats", None), "stats", None)

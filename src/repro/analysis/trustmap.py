@@ -79,6 +79,11 @@ TRUST_MAP: Dict[str, TrustDomain] = {
     "repro.sim": TrustDomain.SHARED,
     "repro.costs": TrustDomain.SHARED,
     "repro.analysis": TrustDomain.SHARED,
+    # telemetry instruments are written from both sides of the boundary
+    # (gateway counters, in-enclave Click element counters) but carry
+    # only registered numeric values — never payloads or key material —
+    # and read only the clock injected into them
+    "repro.telemetry": TrustDomain.SHARED,
 }
 
 
@@ -108,6 +113,9 @@ DETERMINISM_ALLOWLIST = frozenset(
         # the micro-harness measures wall-clock by design; its
         # simulations are self-contained and discarded after timing
         "repro.perf",
+        # deliberately NOT listed: repro.telemetry — the registry takes
+        # an injected clock (the sim's now, or a clock passed by an
+        # exempt caller) and must itself never read wall time
     }
 )
 

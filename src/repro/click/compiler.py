@@ -42,14 +42,26 @@ precompiled call instead of three generic method frames.
 
 Hot swap needs no special handling: a swap builds a fresh
 :class:`~repro.click.router.Router`, which recompiles on construction.
+
+Telemetry is a *compile-time* decision, not a per-packet branch: when
+the router's registry has ``recording`` enabled, :func:`compile_router`
+emits edge closures that additionally count per-element-class packets
+(``click.<element>.packets``) and simulated seconds charged
+(``click.<element>.seconds`` — the same cost value handed to the
+ledger, never the wall clock).  With recording off — the default — the
+emitted closures are byte-for-byte the ones documented above, so the
+disabled fast path carries zero instrumentation overhead
+(:attr:`DispatchPlan.instrumented` records which variant was built).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.click.element import Element, Packet
+from repro.telemetry import names as _tm_names
+from repro.telemetry.registry import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.click.router import Router
@@ -79,6 +91,26 @@ def _classify_cost(element: Element) -> str:
     return "dynamic"
 
 
+def element_instruments(registry, element_type: type) -> Tuple[Counter, Counter]:
+    """The ``(packets, seconds)`` telemetry counters for an element class.
+
+    Registers ``click.<class>.packets`` / ``click.<class>.seconds`` on
+    first use; shared by the compiled closures and the interpreted
+    :meth:`~repro.click.router.Router.charge` path so both report into
+    the same names.
+    """
+    class_key = element_type.__name__.lower()
+    pkts_name = _tm_names.register(
+        f"click.{class_key}.packets", "counter", "packets",
+        f"packets dispatched through {element_type.__name__} elements",
+    )
+    secs_name = _tm_names.register(
+        f"click.{class_key}.seconds", "counter", "seconds",
+        f"simulated seconds charged by {element_type.__name__} elements",
+    )
+    return (registry.counter(pkts_name), registry.counter(secs_name))
+
+
 @dataclass(frozen=True)
 class CompiledEdge:
     """One fused hop of the dispatch plan (inspectable record)."""
@@ -102,10 +134,12 @@ class DispatchPlan:
     ``edges`` lists every fused hop in deterministic order (elements in
     declaration order, ports ascending); ``entry`` names the
     ``FromDevice`` ingress whose receive path was fused into
-    :attr:`entry_receive`.
+    :attr:`entry_receive`; ``instrumented`` records whether telemetry
+    counting was compiled into the closures (it is never branch-checked
+    per packet).
     """
 
-    __slots__ = ("edges", "entry", "entry_receive", "_installed")
+    __slots__ = ("edges", "entry", "entry_receive", "instrumented", "_installed")
 
     def __init__(
         self,
@@ -113,10 +147,12 @@ class DispatchPlan:
         entry: Optional[str],
         entry_receive: Optional[Callable[[Packet], None]],
         installed: List[Element],
+        instrumented: bool = False,
     ) -> None:
         self.edges = edges
         self.entry = entry
         self.entry_receive = entry_receive
+        self.instrumented = instrumented
         self._installed = installed
 
     def __len__(self) -> int:
@@ -145,37 +181,80 @@ def _make_edge(
     in_port: int,
     ledger,
     model,
+    instruments: Optional[Tuple[Counter, Counter]] = None,
 ) -> Callable[[Packet], None]:
     """Fuse ``source.output -> target._receive -> target.push`` into one
     closure.  The ledger add order matches interpreted dispatch exactly
-    (charge before push), so float accumulation is byte-identical."""
+    (charge before push), so float accumulation is byte-identical.
+
+    With *instruments* (the target element-class's ``(packets, seconds)``
+    telemetry counters) a counting variant is emitted instead; the
+    seconds counter accumulates the exact cost value handed to the
+    ledger, so instrumentation never perturbs packet bytes, verdicts or
+    charge sequences."""
     push = target.push
     kind = _classify_cost(target)
     if ledger is None or kind == "zero" or (kind == "fixed" and model is None):
+        if instruments is None:
 
-        def edge(packet: Packet) -> None:
-            source.packets_out += 1
-            target.packets_in += 1
-            push(in_port, packet)
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                push(in_port, packet)
+
+        else:
+            pkts_inc = instruments[0].inc
+
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                pkts_inc()
+                push(in_port, packet)
 
     elif kind == "fixed":
         add = ledger.add
+        if instruments is None:
 
-        def edge(packet: Packet) -> None:
-            source.packets_out += 1
-            target.packets_in += 1
-            add(model.click_element_fixed)
-            push(in_port, packet)
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                add(model.click_element_fixed)
+                push(in_port, packet)
+
+        else:
+            pkts_inc, secs_inc = instruments[0].inc, instruments[1].inc
+
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                charged = model.click_element_fixed
+                add(charged)
+                pkts_inc()
+                secs_inc(charged)
+                push(in_port, packet)
 
     else:
         add = ledger.add
         cost = target.cost
+        if instruments is None:
 
-        def edge(packet: Packet) -> None:
-            source.packets_out += 1
-            target.packets_in += 1
-            add(cost(packet))
-            push(in_port, packet)
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                add(cost(packet))
+                push(in_port, packet)
+
+        else:
+            pkts_inc, secs_inc = instruments[0].inc, instruments[1].inc
+
+            def edge(packet: Packet) -> None:
+                source.packets_out += 1
+                target.packets_in += 1
+                charged = cost(packet)
+                add(charged)
+                pkts_inc()
+                secs_inc(charged)
+                push(in_port, packet)
 
     return edge
 
@@ -200,34 +279,72 @@ def _make_output(
 
 
 def _make_entry_receive(
-    entry: Element, ledger, model
+    entry: Element,
+    ledger,
+    model,
+    instruments: Optional[Tuple[Counter, Counter]] = None,
 ) -> Callable[[Packet], None]:
     """Fuse the router's injection into the entry element (the
-    ``_receive(0, packet)`` the interpreted ``Router.process`` performs)."""
+    ``_receive(0, packet)`` the interpreted ``Router.process`` performs).
+
+    *instruments* behaves as in :func:`_make_edge`."""
     push = entry.push
     kind = _classify_cost(entry)
     if ledger is None or kind == "zero" or (kind == "fixed" and model is None):
+        if instruments is None:
 
-        def entry_receive(packet: Packet) -> None:
-            entry.packets_in += 1
-            push(0, packet)
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                push(0, packet)
+
+        else:
+            pkts_inc = instruments[0].inc
+
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                pkts_inc()
+                push(0, packet)
 
     elif kind == "fixed":
         add = ledger.add
+        if instruments is None:
 
-        def entry_receive(packet: Packet) -> None:
-            entry.packets_in += 1
-            add(model.click_element_fixed)
-            push(0, packet)
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                add(model.click_element_fixed)
+                push(0, packet)
+
+        else:
+            pkts_inc, secs_inc = instruments[0].inc, instruments[1].inc
+
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                charged = model.click_element_fixed
+                add(charged)
+                pkts_inc()
+                secs_inc(charged)
+                push(0, packet)
 
     else:
         add = ledger.add
         cost = entry.cost
+        if instruments is None:
 
-        def entry_receive(packet: Packet) -> None:
-            entry.packets_in += 1
-            add(cost(packet))
-            push(0, packet)
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                add(cost(packet))
+                push(0, packet)
+
+        else:
+            pkts_inc, secs_inc = instruments[0].inc, instruments[1].inc
+
+            def entry_receive(packet: Packet) -> None:
+                entry.packets_in += 1
+                charged = cost(packet)
+                add(charged)
+                pkts_inc()
+                secs_inc(charged)
+                push(0, packet)
 
     return entry_receive
 
@@ -242,6 +359,20 @@ def compile_router(router: "Router") -> DispatchPlan:
     """
     ledger = router.ledger
     model = router.cost_model
+    registry = getattr(router, "telemetry", None)
+    instrumented = registry is not None and registry.recording
+    instrument_cache: Dict[str, Tuple[Counter, Counter]] = {}
+
+    def _instruments_for(element: Element) -> Optional[Tuple[Counter, Counter]]:
+        if not instrumented:
+            return None
+        class_key = type(element).__name__.lower()
+        pair = instrument_cache.get(class_key)
+        if pair is None:
+            pair = element_instruments(registry, type(element))
+            instrument_cache[class_key] = pair
+        return pair
+
     records: List[CompiledEdge] = []
     installed: List[Element] = []
     for element in router.elements.values():
@@ -251,7 +382,9 @@ def compile_router(router: "Router") -> DispatchPlan:
                 edges.append(None)
                 continue
             target, in_port = link
-            edges.append(_make_edge(element, target, in_port, ledger, model))
+            edges.append(
+                _make_edge(element, target, in_port, ledger, model, _instruments_for(target))
+            )
             records.append(
                 CompiledEdge(
                     source=element.name,
@@ -267,11 +400,14 @@ def compile_router(router: "Router") -> DispatchPlan:
         installed.append(element)
     entry = router._entry
     entry_receive = (
-        _make_entry_receive(entry, ledger, model) if entry is not None else None
+        _make_entry_receive(entry, ledger, model, _instruments_for(entry))
+        if entry is not None
+        else None
     )
     return DispatchPlan(
         edges=records,
         entry=entry.name if entry is not None else None,
         entry_receive=entry_receive,
         installed=installed,
+        instrumented=instrumented,
     )

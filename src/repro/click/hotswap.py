@@ -82,22 +82,23 @@ class HotSwapManager:
         untouched.
         """
         model = self.cost_model
-        self._validate(new_config)
-        new_router = Router(new_config, model, self.ledger, self.context)
-        # state transfer: same-named elements adopt their predecessor's state
-        for name, element in new_router.elements.items():
-            old = self.router.elements.get(name)
-            if old is not None and type(old) is type(element):
-                element.take_state(old)
-        parse_cost = model.click_hotswap_fixed + len(new_config) * model.click_parse_per_byte
-        device_cost = 0.0
-        if not self.in_memory:
-            device_cost = model.click_device_setup
-        hotswap_s = parse_cost + device_cost
-        if self.ledger is not None:
-            self.ledger.add(hotswap_s)
-        self.router = new_router
-        self.swaps_performed += 1
-        timings = SwapTimings(hotswap_s=hotswap_s)
-        self.last_timings = timings
+        with self.router.telemetry.span("click.hotswap.swap"):
+            self._validate(new_config)
+            new_router = Router(new_config, model, self.ledger, self.context)
+            # state transfer: same-named elements adopt their predecessor's state
+            for name, element in new_router.elements.items():
+                old = self.router.elements.get(name)
+                if old is not None and type(old) is type(element):
+                    element.take_state(old)
+            parse_cost = model.click_hotswap_fixed + len(new_config) * model.click_parse_per_byte
+            device_cost = 0.0
+            if not self.in_memory:
+                device_cost = model.click_device_setup
+            hotswap_s = parse_cost + device_cost
+            if self.ledger is not None:
+                self.ledger.add(hotswap_s)
+            self.router = new_router
+            self.swaps_performed += 1
+            timings = SwapTimings(hotswap_s=hotswap_s)
+            self.last_timings = timings
         return timings

@@ -14,6 +14,7 @@ charge simulated CPU time.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from repro.click.config import ParsedConfig, parse_config
@@ -21,9 +22,25 @@ from repro.click.element import Element, ElementError, Packet
 from repro.click.registry import lookup_element
 from repro.netsim.packet import IPv4Packet
 from repro.sgx.gateway import CostLedger
+from repro.telemetry.registry import Registry
 
 
-class Router:
+class _RouterMeta(type):
+    """Metaclass hosting the deprecated process-wide counter shim."""
+
+    @property
+    def packets_processed_total(cls) -> int:
+        """Deprecated: read ``click.router.packets`` from the telemetry process root."""
+        warnings.warn(
+            "Router.packets_processed_total is deprecated; read "
+            "repro.telemetry.Registry.process_root().value('click.router.packets')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Registry.process_root().value("click.router.packets")
+
+
+class Router(metaclass=_RouterMeta):
     """An instantiated Click configuration.
 
     On construction the wired graph is compiled into a fused dispatch
@@ -34,10 +51,6 @@ class Router:
     interpreted path stays available via :meth:`uncompile` for
     equivalence testing.
     """
-
-    #: packets processed across every Router in the process; the
-    #: benchmark harness snapshots this to report packets/sec per bench
-    packets_processed_total = 0
 
     def __init__(
         self,
@@ -55,6 +68,16 @@ class Router:
         self.elements: Dict[str, Element] = {}
         self._entry: Optional[Element] = None
         self.packets_processed = 0
+        #: the registry this router (and its compiled plan) reports into;
+        #: fixed at construction so hot-swapped replacements built inside
+        #: the same simulator attach to the same scope.
+        self.telemetry = Registry.current()
+        self._tm_packets = self.telemetry.counter("click.router.packets", private=True)
+        # populated lazily, and only when recording: per-element-class
+        # (packets, seconds) instrument pairs for the interpreted path
+        self._tm_element_cache: Optional[Dict[str, tuple]] = (
+            {} if self.telemetry.recording else None
+        )
         self._plan = None
         self._build(parse_config(config_text))
         self.recompile()
@@ -106,9 +129,32 @@ class Router:
 
     # ------------------------------------------------------------------
     def charge(self, element: Element, packet: Packet) -> None:
-        """Add an element's per-packet cost to the ledger."""
+        """Add an element's per-packet cost to the ledger.
+
+        Interpreted-path telemetry hangs off this hook (the compiled
+        path fuses its counting into the edge closures instead): when
+        the router's registry is recording, the same per-element-class
+        packet and simulated-second counters are incremented here.
+        """
+        cache = self._tm_element_cache
+        if cache is None:
+            if self.ledger is not None:
+                self.ledger.add(element.cost(packet))
+            return
+        class_key = type(element).__name__
+        pair = cache.get(class_key)
+        if pair is None:
+            from repro.click.compiler import element_instruments
+
+            pair = element_instruments(self.telemetry, type(element))
+            cache[class_key] = pair
         if self.ledger is not None:
-            self.ledger.add(element.cost(packet))
+            cost = element.cost(packet)
+            self.ledger.add(cost)
+            pair[0].inc()
+            pair[1].inc(cost)
+        else:
+            pair[0].inc()
 
     def process(self, ip_packet: IPv4Packet) -> Tuple[bool, IPv4Packet]:
         """Run one packet through the graph.
@@ -120,14 +166,14 @@ class Router:
         if plan is not None and plan.entry_receive is not None:
             packet = Packet(ip_packet)
             self.packets_processed += 1
-            Router.packets_processed_total += 1
+            self._tm_packets.inc()
             plan.entry_receive(packet)
             return packet.verdict == "accept", packet.ip
         if self._entry is None:
             raise ElementError("configuration has no FromDevice entry point")
         packet = Packet(ip_packet)
         self.packets_processed += 1
-        Router.packets_processed_total += 1
+        self._tm_packets.inc()
         self._entry._receive(0, packet)
         accepted = packet.verdict == "accept"
         return accepted, packet.ip
@@ -151,7 +197,7 @@ class Router:
                 entry_receive(packet)
                 append((packet.verdict == "accept", packet.ip))
             self.packets_processed += len(results)
-            Router.packets_processed_total += len(results)
+            self._tm_packets.inc(len(results))
             return results
         return [self.process(ip_packet) for ip_packet in ip_packets]
 

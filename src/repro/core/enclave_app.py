@@ -169,6 +169,7 @@ def ecall_process_packet(
         if paging > 0.0:
             pages_touched = size // 4096 + 4  # payload + code/stack working set
             ledger.add(paging * pages_touched * model.epc_page_fault)
+            gateway.epc_faults.inc(paging * pages_touched)
     mode = ProtectionMode(mode_value)
     ledger.add(crypto_cost(model, size, mode))  # data-channel crypto runs in here
     if direction == "ingress" and c2c_flagging and packet.tos == ENDBOX_PROCESSED_TOS:
@@ -210,13 +211,16 @@ def ecall_process_packet_batch(
         paging = enclave.epc.paging_fraction()
     encrypting = ProtectionMode(mode_value) is ProtectionMode.ENCRYPT_AND_MAC
     router = manager.router
+    faults_inc = gateway.epc_faults.inc
 
     def charge(size: int) -> None:
         cost = 2 * memcpy(size)
         if hardware:
             cost += size * epc_per_byte
             if paging > 0.0:
-                cost += paging * (size // 4096 + 4) * epc_page_fault
+                expected_faults = paging * (size // 4096 + 4)
+                cost += expected_faults * epc_page_fault
+                faults_inc(expected_faults)
         cost += hmac(size)
         if encrypting:
             cost += aes(size)

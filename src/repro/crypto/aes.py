@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.telemetry.registry import register_collector
+
 _SBOX = [
     0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
     0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
@@ -67,6 +69,21 @@ def _mul(a: int, b: int) -> int:
 _KEY_SCHEDULE_CACHE: dict = {}
 _KEY_SCHEDULE_CACHE_MAX = 1024
 
+# schedule-cache stats, exported via a repro.telemetry global collector
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def _collect_cache_stats() -> dict:
+    """Telemetry collector: current key-schedule cache counters."""
+    return {
+        "crypto.aes.cache_hits": _CACHE_HITS,
+        "crypto.aes.cache_misses": _CACHE_MISSES,
+    }
+
+
+register_collector(_collect_cache_stats)
+
 
 class AES128:
     """AES with a 128-bit key (10 rounds)."""
@@ -77,12 +94,16 @@ class AES128:
         if len(key) != 16:
             raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
         key = bytes(key)
+        global _CACHE_HITS, _CACHE_MISSES
         cached = _KEY_SCHEDULE_CACHE.get(key)
         if cached is None:
+            _CACHE_MISSES += 1
             cached = self._expand_key(key)
             if len(_KEY_SCHEDULE_CACHE) >= _KEY_SCHEDULE_CACHE_MAX:
                 _KEY_SCHEDULE_CACHE.clear()
             _KEY_SCHEDULE_CACHE[key] = cached
+        else:
+            _CACHE_HITS += 1
         self._round_keys = cached
 
     @staticmethod

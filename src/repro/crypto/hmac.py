@@ -12,11 +12,28 @@ from __future__ import annotations
 import hashlib
 import hmac as _hmac
 
+from repro.telemetry.registry import register_collector
+
 #: key -> (inner, outer) sha256 objects holding the keyed pad states.
 #: Bounded: a long-lived simulation with many sessions must not grow it
 #: forever.
 _PAD_STATE_CACHE: dict = {}
 _PAD_STATE_CACHE_MAX = 4096
+
+# pad-state-cache stats, exported via a repro.telemetry global collector
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def _collect_cache_stats() -> dict:
+    """Telemetry collector: current pad-state cache counters."""
+    return {
+        "crypto.hmac.cache_hits": _CACHE_HITS,
+        "crypto.hmac.cache_misses": _CACHE_MISSES,
+    }
+
+
+register_collector(_collect_cache_stats)
 
 
 def _keyed_state(key: bytes):
@@ -26,8 +43,10 @@ def _keyed_state(key: bytes):
     per-message cost is then exactly two C-level hash copies, with no
     Python-object bookkeeping on top.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     pair = _PAD_STATE_CACHE.get(key)
     if pair is None:
+        _CACHE_MISSES += 1
         block_key = hashlib.sha256(key).digest() if len(key) > 64 else key
         block_key = block_key.ljust(64, b"\x00")
         pair = (
@@ -37,6 +56,8 @@ def _keyed_state(key: bytes):
         if len(_PAD_STATE_CACHE) >= _PAD_STATE_CACHE_MAX:
             _PAD_STATE_CACHE.clear()
         _PAD_STATE_CACHE[bytes(key)] = pair
+    else:
+        _CACHE_HITS += 1
     return pair
 
 

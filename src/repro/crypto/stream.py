@@ -14,6 +14,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
+from repro.telemetry.registry import register_collector
+
 #: (key, nonce) -> keystream bytes.  The VPN computes every keystream
 #: twice — once to protect at the sender, once to unprotect the same
 #: record at the receiver — with the same key and nonce; caching the
@@ -23,6 +25,25 @@ import struct
 #: generational clear is cheaper than LRU bookkeeping).
 _KEYSTREAM_CACHE: dict = {}
 _KEYSTREAM_CACHE_MAX = 2048
+
+# cache effectiveness stats: module ints (one add on the hot path), fed
+# to repro.telemetry as a global collector — registries report deltas
+# over their own lifetime, so per-simulator hit rates come out right.
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+_CACHE_CLEARS = 0
+
+
+def _collect_cache_stats() -> dict:
+    """Telemetry collector: current keystream-cache counters."""
+    return {
+        "crypto.stream.cache_hits": _CACHE_HITS,
+        "crypto.stream.cache_misses": _CACHE_MISSES,
+        "crypto.stream.cache_clears": _CACHE_CLEARS,
+    }
+
+
+register_collector(_collect_cache_stats)
 
 
 class KeystreamCipher:
@@ -46,10 +67,13 @@ class KeystreamCipher:
         self._midstate = hashlib.sha256(key)
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        global _CACHE_HITS, _CACHE_MISSES, _CACHE_CLEARS
         cache_key = (self._key, nonce)
         cached = _KEYSTREAM_CACHE.get(cache_key)
         if cached is not None and len(cached) >= length:
+            _CACHE_HITS += 1
             return cached[:length]
+        _CACHE_MISSES += 1
         counters = self._COUNTERS
         n_blocks = (length + 31) // 32
         while n_blocks > len(counters):
@@ -67,6 +91,7 @@ class KeystreamCipher:
         stream = b"".join(blocks)[:length]
         if len(_KEYSTREAM_CACHE) >= _KEYSTREAM_CACHE_MAX:
             _KEYSTREAM_CACHE.clear()
+            _CACHE_CLEARS += 1
         _KEYSTREAM_CACHE[cache_key] = stream
         return stream
 

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments`` — alias for the experiment runner CLI."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

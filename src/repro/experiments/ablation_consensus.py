@@ -26,13 +26,12 @@ both systems:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.click import configs as click_configs
 from repro.consensus import EttmConfigManager
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table
+from repro.experiments.common import ExperimentResult, format_table
 from repro.netsim import StarTopology
 from repro.netsim.host import class_a_host
 from repro.sim import SeededRng, Simulator
@@ -45,45 +44,36 @@ def _wan_latencies(n: int, seed: int = 11) -> List[float]:
     return [rng.uniform(5e-3, 80e-3) for _ in range(n)]
 
 
-@dataclass
-class ConsensusAblationResult:
-    name: str = "Ablation: trusted config server (EndBox) vs Paxos (ETTM-style), WAN fleet"
-    endbox_latency_ms: Dict[int, float] = field(default_factory=dict)
-    paxos_latency_ms: Dict[int, float] = field(default_factory=dict)
-    endbox_messages: Dict[int, int] = field(default_factory=dict)
-    paxos_messages: Dict[int, int] = field(default_factory=dict)
-    duel_single_messages: int = 0
-    duel_contended_messages: int = 0
-    offline_endbox_updated: int = 0
-    offline_endbox_total: int = 0
-    offline_paxos_failed: bool = False
+TITLE = "Ablation: trusted config server (EndBox) vs Paxos (ETTM-style), WAN fleet"
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = []
-        for n in sorted(self.endbox_latency_ms):
-            rows.append(
-                [
-                    n,
-                    f"{self.endbox_latency_ms[n]:.0f}",
-                    f"{self.paxos_latency_ms[n]:.0f}",
-                    self.endbox_messages[n],
-                    self.paxos_messages[n],
-                ]
-            )
-        table = format_table(
-            ["clients", "EndBox [ms]", "Paxos [ms]", "EndBox msgs", "Paxos msgs"],
-            rows,
-            title=self.name,
+
+def _render(result: ExperimentResult) -> str:
+    """Render the rollout comparison table plus the contention/mobility notes."""
+    series, meta = result.series, result.metadata
+    rows = []
+    for n in sorted(series["endbox_latency_ms"]):
+        rows.append(
+            [
+                n,
+                f"{series['endbox_latency_ms'][n]:.0f}",
+                f"{series['paxos_latency_ms'][n]:.0f}",
+                series["endbox_messages"][n],
+                series["paxos_messages"][n],
+            ]
         )
-        extra = (
-            f"\nduelling proposers (20 nodes): {self.duel_single_messages} msgs uncontended -> "
-            f"{self.duel_contended_messages} msgs contended"
-            f"\nhalf the fleet offline: EndBox updated "
-            f"{self.offline_endbox_updated}/{self.offline_endbox_total} connected clients; "
-            f"Paxos rollout failed: {self.offline_paxos_failed}"
-        )
-        return table + "\n" + extra
+    table = format_table(
+        ["clients", "EndBox [ms]", "Paxos [ms]", "EndBox msgs", "Paxos msgs"],
+        rows,
+        title=TITLE,
+    )
+    extra = (
+        f"\nduelling proposers (20 nodes): {meta['duel_single_messages']} msgs uncontended -> "
+        f"{meta['duel_contended_messages']} msgs contended"
+        f"\nhalf the fleet offline: EndBox updated "
+        f"{meta['offline_endbox_updated']}/{meta['offline_endbox_total']} connected clients; "
+        f"Paxos rollout failed: {meta['offline_paxos_failed']}"
+    )
+    return table + "\n" + extra
 
 
 # ----------------------------------------------------------------------
@@ -166,20 +156,32 @@ def _paxos_duel(n_clients: int = 20) -> Tuple[int, int]:
 
 
 # ----------------------------------------------------------------------
-def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-consensus") -> ConsensusAblationResult:
-    """Run the experiment; returns the result object."""
-    result = ConsensusAblationResult()
+def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-consensus") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="ablation-consensus",
+        title=TITLE,
+        x_label="clients",
+        series={
+            "endbox_latency_ms": {},
+            "paxos_latency_ms": {},
+            "endbox_messages": {},
+            "paxos_messages": {},
+        },
+    )
     for n in fleet_sizes:
         latency, messages = _endbox_rollout(n, seed + str(n).encode())
-        result.endbox_latency_ms[n] = latency * 1e3
-        result.endbox_messages[n] = messages
+        result.series["endbox_latency_ms"][n] = latency * 1e3
+        result.series["endbox_messages"][n] = messages
         paxos = _paxos_rollout(n)
         if paxos.failed:
             raise RuntimeError(f"paxos rollout failed at n={n}")
-        result.paxos_latency_ms[n] = paxos.latency_s * 1e3
-        result.paxos_messages[n] = paxos.messages
+        result.series["paxos_latency_ms"][n] = paxos.latency_s * 1e3
+        result.series["paxos_messages"][n] = paxos.messages
 
-    result.duel_single_messages, result.duel_contended_messages = _paxos_duel()
+    duel_single, duel_contended = _paxos_duel()
+    result.metadata["duel_single_messages"] = duel_single
+    result.metadata["duel_contended_messages"] = duel_contended
 
     # mobility: half the fleet unreachable
     n = fleet_sizes[-1]
@@ -193,7 +195,7 @@ def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-conse
 
     sim.process(roll())
     sim.run(until=600.0)
-    result.offline_paxos_failed = box["result"].failed
+    result.metadata["offline_paxos_failed"] = box["result"].failed
 
     # EndBox with half the clients never connecting: the online half updates
     world = build_deployment(
@@ -205,8 +207,11 @@ def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-conse
     bundle = world.publisher.build_bundle(2, click_configs.firewall_config(), encrypt=True)
     world.publisher.publish(bundle, world.config_server, world.server, grace_period_s=60.0)
     world.sim.run(until=world.sim.now + 5.0)
-    result.offline_endbox_total = 3
-    result.offline_endbox_updated = sum(1 for c in world.clients[:3] if c.config_version == 2)
+    result.metadata["offline_endbox_total"] = 3
+    result.metadata["offline_endbox_updated"] = sum(
+        1 for c in world.clients[:3] if c.config_version == 2
+    )
+    result.text = _render(result)
     return result
 
 

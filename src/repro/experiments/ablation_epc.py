@@ -16,42 +16,41 @@ version of the paper's design constraint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 from repro.click import configs as click_configs
 from repro.core.enclave_app import EndBoxEnclave
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table, measure_max_throughput
+from repro.experiments.common import ExperimentResult, format_table, measure_max_throughput
 from repro.sgx.epc import EPC_SIZE_BYTES
 
 HEAP_SIZES_MB = (8, 64, 120, 192, 256, 512)
 
+TITLE = "Ablation: enclave heap size vs throughput (EPC = 128 MiB)"
 
-@dataclass
-class EpcAblationResult:
-    name: str = "Ablation: enclave heap size vs throughput (EPC = 128 MiB)"
-    throughput_mbps: Dict[int, float] = field(default_factory=dict)
-    paging_fraction: Dict[int, float] = field(default_factory=dict)
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = [
-            [
-                f"{mb} MiB",
-                f"{self.paging_fraction[mb] * 100:.0f}%",
-                f"{self.throughput_mbps[mb]:.0f}",
-            ]
-            for mb in sorted(self.throughput_mbps)
+def _render(throughput_mbps: Dict[int, float], paging_fraction: Dict[int, float]) -> str:
+    """Render the heap-size sweep table."""
+    rows = [
+        [
+            f"{mb} MiB",
+            f"{paging_fraction[mb] * 100:.0f}%",
+            f"{throughput_mbps[mb]:.0f}",
         ]
-        return format_table(
-            ["enclave heap", "pages swapped", "throughput [Mbps]"], rows, title=self.name
-        )
+        for mb in sorted(throughput_mbps)
+    ]
+    return format_table(["enclave heap", "pages swapped", "throughput [Mbps]"], rows, title=TITLE)
 
 
-def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-epc") -> EpcAblationResult:
-    """Run the experiment; returns the result object."""
-    result = EpcAblationResult()
+def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-epc") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="ablation-epc",
+        title=TITLE,
+        x_label="enclave heap [MiB]",
+        unit="Mbps",
+        series={"throughput_mbps": {}, "paging_fraction": {}},
+    )
     for heap_mb in heap_sizes_mb:
         world = build_deployment(
             n_clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, with_config_server=False
@@ -64,8 +63,9 @@ def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-e
         world.connect_all()
         offered = 900e6
         measured = measure_max_throughput(world, 1500, offered, duration=0.06)
-        result.throughput_mbps[heap_mb] = measured / 1e6
-        result.paging_fraction[heap_mb] = endbox.enclave.epc.paging_fraction()
+        result.series["throughput_mbps"][heap_mb] = measured / 1e6
+        result.series["paging_fraction"][heap_mb] = endbox.enclave.epc.paging_fraction()
+    result.text = _render(result.series["throughput_mbps"], result.series["paging_fraction"])
     return result
 
 

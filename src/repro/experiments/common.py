@@ -1,9 +1,19 @@
-"""Shared experiment machinery: throughput probes, table formatting."""
+"""Shared experiment machinery: throughput probes, result schema, tables.
+
+Every experiment module's ``run*()`` returns an :class:`ExperimentResult`
+— one schema for all figures and tables — instead of a per-script result
+shape.  The schema separates *what was measured* (``series``), *what the
+paper reports* (``paper``), *scalar facts* (``metadata``), and an
+optional :mod:`repro.telemetry` ``snapshot()`` taken around the run
+(``telemetry``), so the runner, benchmarks and exporters consume every
+experiment the same way.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.scenarios import EndBoxDeployment, build_deployment
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
@@ -108,9 +118,80 @@ def relative_error(measured: float, paper: float) -> str:
     return f"{100 * (measured - paper) / paper:+.0f}%"
 
 
+def render_series_tables(
+    title: str, series: Dict[str, Dict], paper: Dict[str, Dict], x_label: str, unit: str
+) -> str:
+    """Render measured-vs-paper tables, one block per series label."""
+    blocks = [title]
+    for label, points in series.items():
+        headers = [x_label, f"paper [{unit}]", f"measured [{unit}]", "error"]
+        rows = []
+        for x, value in points.items():
+            paper_value = paper.get(label, {}).get(x)
+            rows.append(
+                [
+                    x,
+                    f"{paper_value:.1f}" if paper_value is not None else "-",
+                    f"{value:.1f}",
+                    relative_error(value, paper_value) if paper_value else "n/a",
+                ]
+            )
+        blocks.append(format_table(headers, rows, title=label))
+    return "\n\n".join(blocks)
+
+
+@dataclass
+class ExperimentResult:
+    """The common result schema every experiment ``run*()`` returns.
+
+    * ``name`` — machine name (``"fig8"``), stable across releases;
+    * ``title`` — the human heading the paper uses;
+    * ``series`` — measured data, ``{series label: {x: value}}`` (a few
+      experiments store richer point types, e.g. Fig 11's
+      ``[(t, rtt | None), ...]`` lists);
+    * ``paper`` — the published values in the same shape as ``series``;
+    * ``metadata`` — scalar facts and derived quantities that are not a
+      series (CPU columns, ratios, sample lists, pass/fail flags);
+    * ``telemetry`` — a :meth:`repro.telemetry.Registry.snapshot` taken
+      around the run when the runner was invoked with ``--telemetry``;
+    * ``text`` — the pre-rendered report block; :meth:`to_text` falls
+      back to :func:`render_series_tables` when a module leaves it empty.
+    """
+
+    name: str
+    title: str
+    x_label: str = ""
+    unit: str = ""
+    series: Dict[str, Any] = field(default_factory=dict)
+    paper: Dict[str, Any] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Optional[dict] = None
+    text: str = ""
+
+    def to_text(self) -> str:
+        """The report block: pre-rendered text or a generic series table."""
+        if self.text:
+            return self.text
+        return render_series_tables(self.title, self.series, self.paper, self.x_label, self.unit)
+
+    @property
+    def measured(self) -> Dict[str, Any]:
+        """Deprecated alias for :attr:`series` (pre-schema name)."""
+        warnings.warn(
+            "ExperimentResult.measured is deprecated; read result.series",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.series
+
+
 @dataclass
 class SeriesResult:
-    """A generic measured-vs-paper series result."""
+    """Deprecated pre-:class:`ExperimentResult` series shape.
+
+    Kept for one release so out-of-tree callers keep importing; every
+    in-tree experiment now returns :class:`ExperimentResult`.
+    """
 
     name: str
     x_label: str
@@ -118,21 +199,14 @@ class SeriesResult:
     paper: Dict[str, Dict] = field(default_factory=dict)
     measured: Dict[str, Dict] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        """Warn once per construction; the schema moved to ExperimentResult."""
+        warnings.warn(
+            "SeriesResult is deprecated; experiments return ExperimentResult",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def to_text(self) -> str:
         """Render the measured-vs-paper tables as text."""
-        blocks = [self.name]
-        for series, points in self.measured.items():
-            headers = [self.x_label, f"paper [{self.unit}]", f"measured [{self.unit}]", "error"]
-            rows = []
-            for x, value in points.items():
-                paper_value = self.paper.get(series, {}).get(x)
-                rows.append(
-                    [
-                        x,
-                        f"{paper_value:.1f}" if paper_value is not None else "-",
-                        f"{value:.1f}",
-                        relative_error(value, paper_value) if paper_value else "n/a",
-                    ]
-                )
-            blocks.append(format_table(headers, rows, title=series))
-        return "\n\n".join(blocks)
+        return render_series_tables(self.name, self.measured, self.paper, self.x_label, self.unit)

@@ -22,13 +22,13 @@ prints no table); saturation plateaus are the quoted numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.scenarios import build_deployment
 from repro.costs.model import default_cost_model
 from repro.experiments.common import (
     SETUP_LABELS,
+    ExperimentResult,
     format_table,
     measure_aggregate_throughput,
     relative_error,
@@ -66,37 +66,31 @@ PAPER_FIG10B.update(
 )
 
 
-@dataclass
-class ScalabilityResult:
-    name: str
-    paper: Dict[str, Dict[int, float]]
-    throughput_gbps: Dict[str, Dict[int, float]] = field(default_factory=dict)
-    cpu_percent: Dict[str, Dict[int, float]] = field(default_factory=dict)
-
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        blocks = [self.name]
-        for series, points in self.throughput_gbps.items():
-            rows = []
-            for n, gbps in points.items():
-                paper_value = self.paper.get(series, {}).get(n)
-                rows.append(
-                    [
-                        n,
-                        f"{paper_value:.1f}" if paper_value is not None else "-",
-                        f"{gbps:.2f}",
-                        relative_error(gbps, paper_value) if paper_value else "n/a",
-                        f"{self.cpu_percent[series][n]:.0f}%",
-                    ]
-                )
-            blocks.append(
-                format_table(
-                    ["clients", "paper [Gbps]", "measured [Gbps]", "error", "server CPU"],
-                    rows,
-                    title=series,
-                )
+def _render(result: ExperimentResult) -> str:
+    """Render throughput + server-CPU tables from a scalability result."""
+    cpu_percent = result.metadata["cpu_percent"]
+    blocks = [result.title]
+    for series, points in result.series.items():
+        rows = []
+        for n, gbps in points.items():
+            paper_value = result.paper.get(series, {}).get(n)
+            rows.append(
+                [
+                    n,
+                    f"{paper_value:.1f}" if paper_value is not None else "-",
+                    f"{gbps:.2f}",
+                    relative_error(gbps, paper_value) if paper_value else "n/a",
+                    f"{cpu_percent[series][n]:.0f}%",
+                ]
             )
-        return "\n\n".join(blocks)
+        blocks.append(
+            format_table(
+                ["clients", "paper [Gbps]", "measured [Gbps]", "error", "server CPU"],
+                rows,
+                title=series,
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def _measure_vpn_setup(
@@ -185,22 +179,29 @@ def run_fig10a(
     duration: float = 0.02,
     warmup: float = 0.012,
     seed: bytes = b"fig10a",
-) -> ScalabilityResult:
-    """Run the Fig 10a sweep; returns a ScalabilityResult."""
-    result = ScalabilityResult(
-        name="Fig 10a: NOP scalability (throughput + server CPU)", paper=PAPER_FIG10A
+) -> ExperimentResult:
+    """Run the Fig 10a sweep; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="fig10a",
+        title="Fig 10a: NOP scalability (throughput + server CPU)",
+        x_label="clients",
+        unit="Gbps",
+        paper=PAPER_FIG10A,
+        metadata={"cpu_percent": {}},
     )
+    cpu_percent = result.metadata["cpu_percent"]
     for setup in setups:
         label = SETUP_LABELS[setup]
-        result.throughput_gbps[label] = {}
-        result.cpu_percent[label] = {}
+        result.series[label] = {}
+        cpu_percent[label] = {}
         for n in counts:
             if setup == "vanilla_click":
                 gbps, cpu = _measure_vanilla_click(n, duration, warmup)
             else:
                 gbps, cpu = _measure_vpn_setup(setup, "NOP", n, duration, warmup, seed)
-            result.throughput_gbps[label][n] = gbps
-            result.cpu_percent[label][n] = cpu
+            result.series[label][n] = gbps
+            cpu_percent[label][n] = cpu
+    result.text = _render(result)
     return result
 
 
@@ -211,27 +212,34 @@ def run_fig10b(
     duration: float = 0.02,
     warmup: float = 0.012,
     seed: bytes = b"fig10b",
-) -> ScalabilityResult:
-    """Run the Fig 10b sweep; returns a ScalabilityResult."""
-    result = ScalabilityResult(
-        name="Fig 10b: per-use-case scalability (throughput + server CPU)", paper=PAPER_FIG10B
+) -> ExperimentResult:
+    """Run the Fig 10b sweep; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="fig10b",
+        title="Fig 10b: per-use-case scalability (throughput + server CPU)",
+        x_label="clients",
+        unit="Gbps",
+        paper=PAPER_FIG10B,
+        metadata={"cpu_percent": {}},
     )
+    cpu_percent = result.metadata["cpu_percent"]
     for setup in setups:
         for use_case in use_cases:
             label = f"{SETUP_LABELS[setup]} {use_case}"
-            result.throughput_gbps[label] = {}
-            result.cpu_percent[label] = {}
+            result.series[label] = {}
+            cpu_percent[label] = {}
             for n in counts:
                 gbps, cpu = _measure_vpn_setup(setup, use_case, n, duration, warmup, seed)
-                result.throughput_gbps[label][n] = gbps
-                result.cpu_percent[label][n] = cpu
+                result.series[label][n] = gbps
+                cpu_percent[label][n] = cpu
+    result.text = _render(result)
     return result
 
 
-def speedup_at(result: ScalabilityResult, n: int, use_case: str) -> Optional[float]:
+def speedup_at(result: ExperimentResult, n: int, use_case: str) -> Optional[float]:
     """EndBox / OpenVPN+Click throughput ratio at ``n`` clients."""
-    endbox = result.throughput_gbps.get(f"EndBox SGX {use_case}", {}).get(n)
-    central = result.throughput_gbps.get(f"OpenVPN+Click {use_case}", {}).get(n)
+    endbox = result.series.get(f"EndBox SGX {use_case}", {}).get(n)
+    central = result.series.get(f"OpenVPN+Click {use_case}", {}).get(n)
     if not endbox or not central:
         return None
     return endbox / central

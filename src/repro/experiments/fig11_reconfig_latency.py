@@ -10,12 +10,11 @@ than local reconfiguration (§V-F).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.click import configs as click_configs
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table
+from repro.experiments.common import ExperimentResult, format_table
 
 PING_INTERVAL = 0.1  # 10 requests per second, as in the paper
 WINDOW = 2.0  # observe +-2 s around the reconfiguration
@@ -26,35 +25,33 @@ PAPER = {
 }
 
 
-@dataclass
-class Fig11Result:
-    name: str = "Fig 11: ping latency across a configuration update"
-    #: per system: list of (time relative to reconfig, RTT seconds or None=lost)
-    series: Dict[str, List[Tuple[float, Optional[float]]]] = field(default_factory=dict)
+TITLE = "Fig 11: ping latency across a configuration update"
 
-    def lost(self, system: str) -> int:
-        """Number of lost pings in the system's series."""
-        return sum(1 for _t, rtt in self.series.get(system, []) if rtt is None)
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = []
-        for system, points in self.series.items():
-            rtts = [rtt for _t, rtt in points if rtt is not None]
-            rows.append(
-                [
-                    system,
-                    PAPER[system]["lost_pings"],
-                    self.lost(system),
-                    f"{min(rtts) * 1e3:.2f}",
-                    f"{max(rtts) * 1e3:.2f}",
-                ]
-            )
-        return format_table(
-            ["system", "paper lost", "measured lost", "min RTT [ms]", "max RTT [ms]"],
-            rows,
-            title=self.name,
+def lost(result: ExperimentResult, system: str) -> int:
+    """Number of lost pings in the system's ``(t, rtt | None)`` series."""
+    return sum(1 for _t, rtt in result.series.get(system, []) if rtt is None)
+
+
+def _render(result: ExperimentResult) -> str:
+    """Render the lost-ping/RTT summary table."""
+    rows = []
+    for system, points in result.series.items():
+        rtts = [rtt for _t, rtt in points if rtt is not None]
+        rows.append(
+            [
+                system,
+                PAPER[system]["lost_pings"],
+                lost(result, system),
+                f"{min(rtts) * 1e3:.2f}",
+                f"{max(rtts) * 1e3:.2f}",
+            ]
         )
+    return format_table(
+        ["system", "paper lost", "measured lost", "min RTT [ms]", "max RTT [ms]"],
+        rows,
+        title=TITLE,
+    )
 
 
 def _ping_series(world, client_host, target, reconfig_time: float):
@@ -120,11 +117,13 @@ def _run_openvpn_click(seed: bytes) -> List[Tuple[float, Optional[float]]]:
     return _ping_series(world, client.host, world.internal.address, reconfig_time)
 
 
-def run(seed: bytes = b"fig11") -> Fig11Result:
-    """Run the experiment; returns the result object."""
-    result = Fig11Result()
+def run(seed: bytes = b"fig11") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(name="fig11", title=TITLE, x_label="t [s]", unit="s", paper=PAPER)
     result.series["EndBox"] = _run_endbox(seed)
     result.series["OpenVPN+Click"] = _run_openvpn_click(seed)
+    result.metadata["lost"] = {system: lost(result, system) for system in result.series}
+    result.text = _render(result)
     return result
 
 

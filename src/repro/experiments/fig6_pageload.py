@@ -14,11 +14,10 @@ the largest relative gap between the curves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table
+from repro.experiments.common import ExperimentResult, format_table
 from repro.http.alexa import alexa_top_pages
 from repro.http.client import HttpClient
 from repro.http.server import HttpServer
@@ -33,46 +32,40 @@ N_WEBSITE_HOSTS = 12
 PAPER_DIRECT_PERCENTILES = {10: 0.9, 25: 1.5, 50: 2.8, 75: 5.0, 90: 8.5, 99: 18.0}
 
 
-@dataclass
-class Fig6Result:
-    name: str = "Fig 6: page-load time CDF (EndBox vs direct)"
-    percentiles_direct: Dict[int, float] = field(default_factory=dict)
-    percentiles_endbox: Dict[int, float] = field(default_factory=dict)
-    samples_direct: List[float] = field(default_factory=list)
-    samples_endbox: List[float] = field(default_factory=list)
+TITLE = "Fig 6: page-load time CDF (EndBox vs direct)"
 
-    @property
-    def max_gap(self) -> float:
-        """Largest relative difference between the two curves."""
-        gaps = []
-        for p in PERCENTILES:
-            direct = self.percentiles_direct.get(p)
-            endbox = self.percentiles_endbox.get(p)
-            if direct and endbox:
-                gaps.append(abs(endbox - direct) / direct)
-        return max(gaps) if gaps else float("nan")
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = []
-        for p in PERCENTILES:
-            direct = self.percentiles_direct.get(p, float("nan"))
-            endbox = self.percentiles_endbox.get(p, float("nan"))
-            rows.append(
-                [
-                    f"p{p}",
-                    f"{PAPER_DIRECT_PERCENTILES.get(p, float('nan')):.1f}",
-                    f"{direct:.2f}",
-                    f"{endbox:.2f}",
-                    f"{100 * (endbox - direct) / direct:+.1f}%" if direct else "n/a",
-                ]
-            )
-        table = format_table(
-            ["percentile", "paper direct [s]", "direct [s]", "EndBox [s]", "EndBox vs direct"],
-            rows,
-            title=self.name,
+def _max_gap(direct: Dict[int, float], endbox: Dict[int, float]) -> float:
+    """Largest relative difference between the two percentile curves."""
+    gaps = []
+    for p in PERCENTILES:
+        d, e = direct.get(p), endbox.get(p)
+        if d and e:
+            gaps.append(abs(e - d) / d)
+    return max(gaps) if gaps else float("nan")
+
+
+def _render(direct: Dict[int, float], endbox: Dict[int, float]) -> str:
+    """Render the percentile comparison table plus the max-gap line."""
+    rows = []
+    for p in PERCENTILES:
+        d = direct.get(p, float("nan"))
+        e = endbox.get(p, float("nan"))
+        rows.append(
+            [
+                f"p{p}",
+                f"{PAPER_DIRECT_PERCENTILES.get(p, float('nan')):.1f}",
+                f"{d:.2f}",
+                f"{e:.2f}",
+                f"{100 * (e - d) / d:+.1f}%" if d else "n/a",
+            ]
         )
-        return table + f"\n\nmax CDF gap EndBox vs direct: {self.max_gap * 100:.1f}%"
+    table = format_table(
+        ["percentile", "paper direct [s]", "direct [s]", "EndBox [s]", "EndBox vs direct"],
+        rows,
+        title=TITLE,
+    )
+    return table + f"\n\nmax CDF gap EndBox vs direct: {_max_gap(direct, endbox) * 100:.1f}%"
 
 
 def _percentile(samples: Sequence[float], p: int) -> float:
@@ -130,13 +123,14 @@ def _load_all(world, client_host, pages, deadline_per_page: float = 40.0) -> Lis
     return times
 
 
-def run(n_pages: int = 60, seed: int = 2018) -> Fig6Result:
-    """Run the experiment; returns the result object."""
+def run(n_pages: int = 60, seed: int = 2018) -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
     rng = SeededRng(seed, "fig6")
     population = alexa_top_pages(1000, seed=seed)
     step = max(1, len(population) // n_pages)
     pages = population[::step][:n_pages]
-    result = Fig6Result()
+    curves: Dict[str, Dict[int, float]] = {}
+    samples_by_mode: Dict[str, List[float]] = {}
 
     for mode in ("direct", "endbox"):
         world = build_deployment(
@@ -154,13 +148,23 @@ def run(n_pages: int = 60, seed: int = 2018) -> Fig6Result:
         else:
             client_host = world.client_hosts[0]
         samples = _load_all(world, client_host, pages)
-        if mode == "direct":
-            result.samples_direct = samples
-            result.percentiles_direct = {p: _percentile(samples, p) for p in PERCENTILES}
-        else:
-            result.samples_endbox = samples
-            result.percentiles_endbox = {p: _percentile(samples, p) for p in PERCENTILES}
-    return result
+        label = "direct" if mode == "direct" else "EndBox"
+        samples_by_mode[label] = samples
+        curves[label] = {p: _percentile(samples, p) for p in PERCENTILES}
+    return ExperimentResult(
+        name="fig6",
+        title=TITLE,
+        x_label="percentile",
+        unit="s",
+        series=curves,
+        paper={"direct": dict(PAPER_DIRECT_PERCENTILES)},
+        metadata={
+            "samples_direct": samples_by_mode["direct"],
+            "samples_endbox": samples_by_mode["EndBox"],
+            "max_gap": _max_gap(curves["direct"], curves["EndBox"]),
+        },
+        text=_render(curves["direct"], curves["EndBox"]),
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

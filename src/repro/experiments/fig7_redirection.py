@@ -14,11 +14,10 @@ one-way latencies are set from the paper's measured RTT deltas
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table, relative_error
+from repro.experiments.common import ExperimentResult, format_table, relative_error
 from repro.netsim.host import class_a_host
 
 #: one-way LAN->target latency giving the paper's 10.8 ms base RTT
@@ -37,28 +36,23 @@ PAPER_RTT_MS: Dict[str, float] = {
 METHODS = tuple(PAPER_RTT_MS)
 
 
-@dataclass
-class Fig7Result:
-    name: str = "Fig 7: average ping RTT by redirection method"
-    paper: Dict[str, float] = field(default_factory=lambda: dict(PAPER_RTT_MS))
-    measured: Dict[str, float] = field(default_factory=dict)
+TITLE = "Fig 7: average ping RTT by redirection method"
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = []
-        for method, rtt in self.measured.items():
-            paper_value = self.paper.get(method)
-            rows.append(
-                [
-                    method,
-                    f"{paper_value:.1f}" if paper_value else "-",
-                    f"{rtt:.1f}",
-                    relative_error(rtt, paper_value) if paper_value else "n/a",
-                ]
-            )
-        return format_table(
-            ["method", "paper [ms]", "measured [ms]", "error"], rows, title=self.name
+
+def _render(measured: Dict[str, float]) -> str:
+    """Render the per-method RTT comparison table."""
+    rows = []
+    for method, rtt in measured.items():
+        paper_value = PAPER_RTT_MS.get(method)
+        rows.append(
+            [
+                method,
+                f"{paper_value:.1f}" if paper_value else "-",
+                f"{rtt:.1f}",
+                relative_error(rtt, paper_value) if paper_value else "n/a",
+            ]
         )
+    return format_table(["method", "paper [ms]", "measured [ms]", "error"], rows, title=TITLE)
 
 
 def _average_ping(sim, stack, target_addr, count: int = 10) -> float:
@@ -112,12 +106,18 @@ def _measure(method: str, seed: bytes) -> float:
     return _average_ping(world.sim, client.host.stack, target.address)
 
 
-def run(methods: Sequence[str] = METHODS, seed: bytes = b"fig7") -> Fig7Result:
-    """Run the experiment; returns the result object."""
-    result = Fig7Result()
-    for method in methods:
-        result.measured[method] = _measure(method, seed) * 1e3
-    return result
+def run(methods: Sequence[str] = METHODS, seed: bytes = b"fig7") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    measured = {method: _measure(method, seed) * 1e3 for method in methods}
+    return ExperimentResult(
+        name="fig7",
+        title=TITLE,
+        x_label="method",
+        unit="ms",
+        series={"ping RTT": measured},
+        paper={"ping RTT": dict(PAPER_RTT_MS)},
+        text=_render(measured),
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

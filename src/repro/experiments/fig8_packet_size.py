@@ -15,12 +15,11 @@ Paper headlines this experiment reproduces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.scenarios import build_deployment
 from repro.costs.calibration import FIG8_PAPER_MBPS
-from repro.experiments.common import SETUP_LABELS, SeriesResult, measure_max_throughput
+from repro.experiments.common import SETUP_LABELS, ExperimentResult, measure_max_throughput
 
 SIZES = (256, 1024, 1500, 4096, 16384, 65536)
 SETUPS = ("vanilla", "openvpn_click", "endbox_sim", "endbox_sgx")
@@ -36,27 +35,23 @@ PAPER: Dict[str, Dict[int, float]] = {
 }
 
 
-@dataclass
-class Fig8Result(SeriesResult):
-    pass
-
-
 def run(
     sizes: Sequence[int] = SIZES,
     setups: Sequence[str] = SETUPS,
     duration: float = 0.08,
     seed: bytes = b"fig8",
-) -> Fig8Result:
-    """Run the experiment; returns the result object."""
-    result = Fig8Result(
-        name="Fig 8: max throughput vs packet size",
+) -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="fig8",
+        title="Fig 8: max throughput vs packet size",
         x_label="size [B]",
         unit="Mbps",
         paper=PAPER,
     )
     for setup in setups:
         label = SETUP_LABELS[setup]
-        result.measured[label] = {}
+        result.series[label] = {}
         for size in sizes:
             world = build_deployment(
                 n_clients=1,
@@ -69,7 +64,7 @@ def run(
             paper_value = PAPER[label].get(size, 1000.0)
             offered = paper_value * 1e6 * 1.7  # clearly saturating
             measured = measure_max_throughput(world, size, offered, duration=duration)
-            result.measured[label][size] = measured / 1e6
+            result.series[label][size] = measured / 1e6
     return result
 
 

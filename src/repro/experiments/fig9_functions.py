@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import SETUP_LABELS, SeriesResult, measure_max_throughput
+from repro.experiments.common import SETUP_LABELS, ExperimentResult, measure_max_throughput
 
 USE_CASES = ("NOP", "LB", "FW", "IDPS", "DDoS")
 SETUPS = ("openvpn_click", "endbox_sgx")
@@ -30,17 +30,18 @@ def run(
     setups: Sequence[str] = SETUPS,
     duration: float = 0.08,
     seed: bytes = b"fig9",
-) -> SeriesResult:
-    """Run the experiment; returns the result object."""
-    result = SeriesResult(
-        name="Fig 9: middlebox-function throughput at 1500 B",
+) -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="fig9",
+        title="Fig 9: middlebox-function throughput at 1500 B",
         x_label="use case",
         unit="Mbps",
         paper=PAPER,
     )
     for setup in setups:
         label = SETUP_LABELS[setup]
-        result.measured[label] = {}
+        result.series[label] = {}
         for use_case in use_cases:
             world = build_deployment(
                 n_clients=1,
@@ -52,7 +53,7 @@ def run(
             world.connect_all()
             offered = PAPER[label][use_case] * 1e6 * 1.7
             measured = measure_max_throughput(world, PACKET_BYTES, offered, duration=duration)
-            result.measured[label][use_case] = measured / 1e6
+            result.series[label][use_case] = measured / 1e6
     return result
 
 

@@ -13,11 +13,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table, measure_max_throughput
+from repro.experiments.common import ExperimentResult, format_table, measure_max_throughput
 
 PACKET_BYTES = 1500
 
@@ -28,19 +27,7 @@ PAPER = {
 }
 
 
-@dataclass
-class OptimizationResult:
-    name: str = "§V-G: optimisation ablations"
-    rows: List[Tuple[str, str, str]] = field(default_factory=list)  # (opt, paper, measured)
-    values: Dict[str, float] = field(default_factory=dict)
-
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        return format_table(
-            ["optimisation", "paper", "measured"],
-            [list(row) for row in self.rows],
-            title=self.name,
-        )
+TITLE = "§V-G: optimisation ablations"
 
 
 def _throughput(setup_kwargs: dict, offered: float, seed: bytes) -> float:
@@ -151,13 +138,14 @@ def run_c2c_flagging(seed: bytes = b"opt3") -> Tuple[float, float, float]:
     return without, with_flag, 1.0 - with_flag / without
 
 
-def run(seed: bytes = b"opts") -> OptimizationResult:
-    """Run the experiment; returns the result object."""
-    result = OptimizationResult()
+def run(seed: bytes = b"opts") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    values = {}
+    rows: List[Tuple[str, str, str]] = []  # (optimisation, paper, measured)
 
     unopt, opt, gain = run_transition_batching(seed + b"1")
-    result.values["batching_gain"] = gain
-    result.rows.append(
+    values["batching_gain"] = gain
+    rows.append(
         (
             "single-ecall batching",
             PAPER["single-ecall batching"],
@@ -166,9 +154,9 @@ def run(seed: bytes = b"opts") -> OptimizationResult:
     )
 
     single, burst, burst_gain, per_crossing = run_burst_batching(seed + b"1b")
-    result.values["burst_gain"] = burst_gain
-    result.values["burst_packets_per_crossing"] = per_crossing
-    result.rows.append(
+    values["burst_gain"] = burst_gain
+    values["burst_packets_per_crossing"] = per_crossing
+    rows.append(
         (
             "burst ecall batching",
             "(beyond paper)",
@@ -178,8 +166,8 @@ def run(seed: bytes = b"opts") -> OptimizationResult:
     )
 
     enc, mac, gain = run_isp_no_encryption(seed + b"2")
-    result.values["isp_gain"] = gain
-    result.rows.append(
+    values["isp_gain"] = gain
+    rows.append(
         (
             "ISP no-encryption",
             PAPER["ISP no-encryption"],
@@ -188,15 +176,24 @@ def run(seed: bytes = b"opts") -> OptimizationResult:
     )
 
     without, with_flag, reduction = run_c2c_flagging(seed + b"3")
-    result.values["c2c_reduction"] = reduction
-    result.rows.append(
+    values["c2c_reduction"] = reduction
+    rows.append(
         (
             "c2c flagging",
             PAPER["c2c flagging"],
             f"-{reduction * 100:.0f}% latency ({without * 1e6:.0f} -> {with_flag * 1e6:.0f} us)",
         )
     )
-    return result
+    return ExperimentResult(
+        name="optimizations",
+        title=TITLE,
+        x_label="optimisation",
+        paper=dict(PAPER),
+        metadata={"values": values, "rows": rows},
+        text=format_table(
+            ["optimisation", "paper", "measured"], [list(row) for row in rows], title=TITLE
+        ),
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

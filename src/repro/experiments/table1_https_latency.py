@@ -14,12 +14,11 @@ The paper's claim: the whole mechanism costs < 8 % extra latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
 from repro.click import configs as click_configs
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table, relative_error
+from repro.experiments.common import ExperimentResult, format_table, relative_error
 from repro.http.client import HttpClient
 from repro.http.server import HttpServer
 from repro.tlslib.library import TlsLibrary
@@ -34,31 +33,28 @@ PAPER_MS: Dict[str, Dict[int, float]] = {
 }
 
 
-@dataclass
-class Table1Result:
-    name: str = "Table I: HTTPS GET latency"
-    paper: Dict[str, Dict[int, float]] = field(default_factory=lambda: PAPER_MS)
-    measured: Dict[str, Dict[int, float]] = field(default_factory=dict)
+TITLE = "Table I: HTTPS GET latency"
 
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        blocks = [self.name]
-        for config, points in self.measured.items():
-            rows = []
-            for size, ms in points.items():
-                paper_value = self.paper.get(config, {}).get(size)
-                rows.append(
-                    [
-                        f"{size // 1024} KB",
-                        f"{paper_value:.2f}" if paper_value else "-",
-                        f"{ms:.2f}",
-                        relative_error(ms, paper_value) if paper_value else "n/a",
-                    ]
-                )
-            blocks.append(
-                format_table(["resp. size", "paper [ms]", "measured [ms]", "error"], rows, title=config)
+
+def _render(series: Dict[str, Dict[int, float]]) -> str:
+    """Render the per-configuration latency tables."""
+    blocks = [TITLE]
+    for config, points in series.items():
+        rows = []
+        for size, ms in points.items():
+            paper_value = PAPER_MS.get(config, {}).get(size)
+            rows.append(
+                [
+                    f"{size // 1024} KB",
+                    f"{paper_value:.2f}" if paper_value else "-",
+                    f"{ms:.2f}",
+                    relative_error(ms, paper_value) if paper_value else "n/a",
+                ]
             )
-        return "\n\n".join(blocks)
+        blocks.append(
+            format_table(["resp. size", "paper [ms]", "measured [ms]", "error"], rows, title=config)
+        )
+    return "\n\n".join(blocks)
 
 
 def _measure(config: str, sizes: Sequence[int], repeats: int, seed: bytes) -> Dict[int, float]:
@@ -122,13 +118,21 @@ def _measure(config: str, sizes: Sequence[int], repeats: int, seed: bytes) -> Di
     return latencies
 
 
-def run(sizes: Sequence[int] = SIZES, repeats: int = 5, seed: bytes = b"table1") -> Table1Result:
-    """Run the experiment; returns the result object."""
-    result = Table1Result()
+def run(sizes: Sequence[int] = SIZES, repeats: int = 5, seed: bytes = b"table1") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    series = {}
     for config in CONFIGS:
         measured = _measure(config, sizes, repeats, seed)
-        result.measured[config] = {size: ms * 1e3 for size, ms in measured.items()}
-    return result
+        series[config] = {size: ms * 1e3 for size, ms in measured.items()}
+    return ExperimentResult(
+        name="table1",
+        title=TITLE,
+        x_label="resp. size",
+        unit="ms",
+        series=series,
+        paper={config: dict(points) for config, points in PAPER_MS.items()},
+        text=_render(series),
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,13 +10,12 @@ traffic-affecting phase takes only ~30 % of vanilla Click's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.click import configs as click_configs
 from repro.click.hotswap import HotSwapManager
 from repro.core.scenarios import build_deployment
-from repro.experiments.common import format_table, relative_error
+from repro.experiments.common import ExperimentResult, format_table, relative_error
 
 PAPER_MS: Dict[str, Dict[str, float]] = {
     "vanilla Click": {"fetch": 0.0, "decryption": 0.0, "hotswap": 2.4, "total": 2.4},
@@ -26,55 +25,53 @@ PAPER_MS: Dict[str, Dict[str, float]] = {
 PHASES = ("fetch", "decryption", "hotswap", "total")
 
 
-@dataclass
-class Table2Result:
-    name: str = "Table II: configuration-update phase timings"
-    paper: Dict[str, Dict[str, float]] = field(default_factory=lambda: PAPER_MS)
-    measured: Dict[str, Dict[str, float]] = field(default_factory=dict)
-
-    @property
-    def endbox_vs_vanilla_hotswap(self) -> float:
-        return self.measured["EndBox"]["hotswap"] / self.measured["vanilla Click"]["hotswap"]
-
-    def to_text(self) -> str:
-        """Render the measured-vs-paper tables as text."""
-        rows = []
-        for phase in PHASES:
-            row = [phase]
-            for system in ("vanilla Click", "EndBox"):
-                paper_value = self.paper[system][phase]
-                measured = self.measured.get(system, {}).get(phase, float("nan"))
-                row.extend(
-                    [
-                        f"{paper_value:.2f}" if paper_value else "-",
-                        f"{measured:.2f}",
-                        relative_error(measured, paper_value) if paper_value else "n/a",
-                    ]
-                )
-            rows.append(row)
-        table = format_table(
-            [
-                "phase",
-                "Click paper [ms]",
-                "Click meas [ms]",
-                "err",
-                "EndBox paper [ms]",
-                "EndBox meas [ms]",
-                "err",
-            ],
-            rows,
-            title=self.name,
-        )
-        ratio = self.endbox_vs_vanilla_hotswap
-        return table + (
-            f"\n\nEndBox hotswap / vanilla hotswap: {ratio * 100:.0f}% "
-            "(paper: ~30% of vanilla's reconfiguration time)"
-        )
+TITLE = "Table II: configuration-update phase timings"
 
 
-def run(seed: bytes = b"table2") -> Table2Result:
-    """Run the experiment; returns the result object."""
-    result = Table2Result()
+def _render(series: Dict[str, Dict[str, float]], ratio: float) -> str:
+    """Render the phase-timing comparison plus the hotswap ratio line."""
+    rows = []
+    for phase in PHASES:
+        row = [phase]
+        for system in ("vanilla Click", "EndBox"):
+            paper_value = PAPER_MS[system][phase]
+            measured = series.get(system, {}).get(phase, float("nan"))
+            row.extend(
+                [
+                    f"{paper_value:.2f}" if paper_value else "-",
+                    f"{measured:.2f}",
+                    relative_error(measured, paper_value) if paper_value else "n/a",
+                ]
+            )
+        rows.append(row)
+    table = format_table(
+        [
+            "phase",
+            "Click paper [ms]",
+            "Click meas [ms]",
+            "err",
+            "EndBox paper [ms]",
+            "EndBox meas [ms]",
+            "err",
+        ],
+        rows,
+        title=TITLE,
+    )
+    return table + (
+        f"\n\nEndBox hotswap / vanilla hotswap: {ratio * 100:.0f}% "
+        "(paper: ~30% of vanilla's reconfiguration time)"
+    )
+
+
+def run(seed: bytes = b"table2") -> ExperimentResult:
+    """Run the experiment; returns an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        name="table2",
+        title=TITLE,
+        x_label="phase",
+        unit="ms",
+        paper={system: dict(points) for system, points in PAPER_MS.items()},
+    )
 
     # --- vanilla Click: in-process hot-swap with device setup ----------
     world = build_deployment(
@@ -82,7 +79,7 @@ def run(seed: bytes = b"table2") -> Table2Result:
     )
     vanilla = HotSwapManager(click_configs.MINIMAL_CONFIG, world.model, in_memory=False)
     timings = vanilla.hotswap(click_configs.MINIMAL_CONFIG)
-    result.measured["vanilla Click"] = {
+    result.series["vanilla Click"] = {
         "fetch": 0.0,
         "decryption": 0.0,
         "hotswap": timings.hotswap_s * 1e3,
@@ -98,12 +95,15 @@ def run(seed: bytes = b"table2") -> Table2Result:
     if not client.update_timings:
         raise RuntimeError("the configuration update never completed")
     update = client.update_timings[0]
-    result.measured["EndBox"] = {
+    result.series["EndBox"] = {
         "fetch": update.fetch_s * 1e3,
         "decryption": update.decrypt_s * 1e3,
         "hotswap": update.hotswap_s * 1e3,
         "total": update.total_s * 1e3,
     }
+    ratio = result.series["EndBox"]["hotswap"] / result.series["vanilla Click"]["hotswap"]
+    result.metadata["endbox_vs_vanilla_hotswap"] = ratio
+    result.text = _render(result.series, ratio)
     return result
 
 

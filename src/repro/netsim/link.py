@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim import FifoStore, Simulator
+from repro.telemetry.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.interface import Interface
@@ -65,6 +66,16 @@ class Link:
         self.frames_dropped = 0
         self.frames_lost = 0
         self.bytes_delivered = 0
+        # shared netsim.link.* totals (per-link reads stay on the plain
+        # attributes above); the occupancy histogram is recording-gated
+        registry = Registry.current()
+        self._tm_sent = registry.counter("netsim.link.frames_sent")
+        self._tm_dropped = registry.counter("netsim.link.frames_dropped")
+        self._tm_lost = registry.counter("netsim.link.frames_lost")
+        self._tm_bytes = registry.counter("netsim.link.bytes_delivered")
+        self._tm_occupancy = (
+            registry.histogram("netsim.link.queue_depth") if registry.recording else None
+        )
 
     def set_loss_rate(self, rate: float) -> None:
         """Enable/adjust random frame loss on an existing link."""
@@ -99,9 +110,11 @@ class Link:
             yield self.sim.timeout(wire_bytes * 8 / self.bandwidth_bps)
             if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
                 self.frames_lost += 1
+                self._tm_lost.inc()
                 continue
             self.sim.schedule(self.latency_s, lambda f=frame: receiver.deliver(f))
             self.bytes_delivered += len(frame)
+            self._tm_bytes.inc(len(frame))
 
     def transmit(self, sender: "Interface", frame: bytes) -> bool:
         """Enqueue ``frame`` for transmission from ``sender``'s side.
@@ -113,11 +126,16 @@ class Link:
             raise RuntimeError(f"{self.name}: link is not fully attached")
         if len(frame) > self.mtu + 60:  # headroom for encapsulation headers
             self.frames_dropped += 1
+            self._tm_dropped.inc()
             return False
         queue = self._queues[id(sender)]
         if len(queue) >= self.queue_frames:
             self.frames_dropped += 1
+            self._tm_dropped.inc()
             return False
         self.frames_sent += 1
+        self._tm_sent.inc()
+        if self._tm_occupancy is not None:
+            self._tm_occupancy.observe(len(queue))
         queue.put(frame)
         return True

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro import telemetry
 from repro.perf.micro import format_report, run_all, write_json
 
 
@@ -17,12 +18,26 @@ def main() -> int:
     parser.add_argument("-n", type=int, default=12_800, help="packets per stage")
     parser.add_argument("--burst", type=int, default=32, help="packets per batched crossing")
     parser.add_argument("--payload", type=int, default=64, help="UDP payload bytes")
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable recording instruments and write the telemetry snapshot as JSON",
+    )
     args = parser.parse_args()
-    doc = run_all(n=args.n, burst=args.burst, payload_bytes=args.payload)
+    doc = run_all(
+        n=args.n,
+        burst=args.burst,
+        payload_bytes=args.payload,
+        record_telemetry=args.telemetry is not None,
+    )
     print(format_report(doc))
     if args.json:
         write_json(doc, args.json)
         print(f"wrote {args.json}")
+    if args.telemetry:
+        telemetry.write_json(doc["telemetry"], args.telemetry, meta={"harness": "perf.micro"})
+        print(f"wrote {args.telemetry}")
     return 0 if doc["criterion"]["met"] else 1
 
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.click import Router, configs
 from repro.core.ca import CertificateAuthority
 from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
@@ -194,18 +195,18 @@ def bench_vpn_data_channel(n: int, burst: int, payload_bytes: int) -> StageResul
     crossings = {}
 
     def scalar_pass():
-        before = gateway.ecall_count
+        before = gateway.ecalls.value
         t0 = time.perf_counter()
         for i in range(n):
             p = packets[i % burst]
             gateway.ecall("process_packet", p, "egress", mode, True, payload_bytes=len(p))
             gateway.ledger.drain()
         elapsed = time.perf_counter() - t0
-        crossings["scalar"] = (gateway.ecall_count - before) / n
+        crossings["scalar"] = (gateway.ecalls.value - before) / n
         return n, elapsed
 
     def batched_pass():
-        before = gateway.ecall_count
+        before = gateway.ecalls.value
         t0 = time.perf_counter()
         for _ in range(rounds):
             gateway.ecall(
@@ -213,7 +214,7 @@ def bench_vpn_data_channel(n: int, burst: int, payload_bytes: int) -> StageResul
             )
             gateway.ledger.drain()
         elapsed = time.perf_counter() - t0
-        crossings["batched"] = (gateway.ecall_count - before) / (rounds * burst)
+        crossings["batched"] = (gateway.ecalls.value - before) / (rounds * burst)
         return rounds * burst, elapsed
 
     scalar, batched = _race(scalar_pass, batched_pass)
@@ -375,17 +376,34 @@ def bench_sim_engine(n_events: int = 200_000) -> StageResult:
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-def run_all(n: int = 12_800, burst: int = 32, payload_bytes: int = 64) -> dict:
-    """Run every stage; returns the ``BENCH_micro.json`` document."""
+def run_all(
+    n: int = 12_800,
+    burst: int = 32,
+    payload_bytes: int = 64,
+    record_telemetry: bool = False,
+) -> dict:
+    """Run every stage; returns the ``BENCH_micro.json`` document.
+
+    The whole run executes inside a :func:`repro.telemetry.session`, so
+    the document's ``telemetry`` section is a view over the registry:
+    enclave transition counts, crypto cache hit rates, Click dispatch
+    totals.  ``record_telemetry`` additionally enables spans and the
+    recording-gated instruments (per-element timings, queue depths) —
+    leave it off when the timing numbers themselves are the product.
+    """
     if n % burst:
         raise ValueError("n must be a multiple of burst")
-    stages = [
-        bench_click_dispatch(n, burst, payload_bytes),
-        bench_vpn_data_channel(n, burst, payload_bytes),
-        bench_channel_crypto(n, burst, payload_bytes),
-        bench_end_to_end(n, burst, payload_bytes),
-        bench_sim_engine(),
-    ]
+    with telemetry.session(
+        recording=record_telemetry, clock=time.perf_counter, label="perf.micro"
+    ) as registry:
+        stages = [
+            bench_click_dispatch(n, burst, payload_bytes),
+            bench_vpn_data_channel(n, burst, payload_bytes),
+            bench_channel_crypto(n, burst, payload_bytes),
+            bench_end_to_end(n, burst, payload_bytes),
+            bench_sim_engine(),
+        ]
+        snapshot = registry.snapshot()
     by_name = {stage.name: stage for stage in stages}
     criterion = by_name[CRITERION_STAGE]
     return {
@@ -398,6 +416,7 @@ def run_all(n: int = 12_800, burst: int = 32, payload_bytes: int = 64) -> dict:
             "measured_speedup": round(criterion.speedup, 3),
             "met": criterion.speedup >= CRITERION_SPEEDUP,
         },
+        "telemetry": snapshot,
     }
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.telemetry.registry import Registry
+
 EPC_SIZE_BYTES = 128 * 1024 * 1024
 PAGE_SIZE = 4096
 
@@ -21,11 +23,23 @@ class EpcError(RuntimeError):
 
 
 class EnclavePageCache:
-    """Machine-wide EPC accounting."""
+    """Machine-wide EPC accounting.
+
+    Page events report into :mod:`repro.telemetry` under ``sgx.epc.*``:
+    allocations/frees here, and expected page-fault counts charged by
+    the cost-accounting ecalls (:mod:`repro.core.enclave_app`) via the
+    shared ``sgx.epc.page_faults`` counter.
+    """
 
     def __init__(self, size_bytes: int = EPC_SIZE_BYTES) -> None:
         self.size_bytes = size_bytes
         self._allocations: Dict[str, int] = {}
+        registry = Registry.current()
+        self._tm_allocated = registry.counter("sgx.epc.pages_allocated", private=True)
+        self._tm_freed = registry.counter("sgx.epc.pages_freed", private=True)
+        # created eagerly so every telemetry artifact reports EPC fault
+        # counts, zero included
+        registry.counter("sgx.epc.page_faults")
 
     # ------------------------------------------------------------------
     @property
@@ -42,11 +56,13 @@ class EnclavePageCache:
             raise EpcError("negative allocation")
         pages = -(-num_bytes // PAGE_SIZE)
         self._allocations[owner] = self._allocations.get(owner, 0) + pages * PAGE_SIZE
+        self._tm_allocated.inc(pages)
 
     def free(self, owner: str) -> None:
         """Release the owner's pages."""
         if owner not in self._allocations:
             raise EpcError(f"unknown EPC owner {owner!r}")
+        self._tm_freed.inc(self._allocations[owner] // PAGE_SIZE)
         del self._allocations[owner]
 
     def usage_of(self, owner: str) -> int:

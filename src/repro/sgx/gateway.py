@@ -20,6 +20,7 @@ import warnings
 from typing import Any, Callable, Dict, Optional
 
 from repro.sgx.enclave import Enclave, EnclaveError, EnclaveMode
+from repro.telemetry.registry import Registry
 
 
 class InterfaceViolation(EnclaveError):
@@ -55,7 +56,15 @@ class CostLedger:
 
 
 class EnclaveGateway:
-    """Untrusted <-> trusted call boundary for one enclave."""
+    """Untrusted <-> trusted call boundary for one enclave.
+
+    Every transition is counted through :mod:`repro.telemetry`: the
+    public :attr:`ecalls` / :attr:`ocalls` / :attr:`exitless` counters
+    are *private instruments* — their ``.value`` reflects this gateway
+    alone — that mirror into the owning registry's shared
+    ``sgx.gateway.*`` totals.  The pre-telemetry attribute names
+    (``ecall_count`` etc.) remain as deprecated read-only shims.
+    """
 
     def __init__(
         self,
@@ -76,9 +85,14 @@ class EnclaveGateway:
         #: shared-memory queue instead of EEXIT/EENTER transitions.
         self.exitless_ocalls = exitless_ocalls
         self.exitless_cost = exitless_cost
-        self.ecall_count = 0
-        self.ocall_count = 0
-        self.exitless_serviced = 0
+        registry = Registry.current()
+        self.telemetry = registry
+        self.ecalls = registry.counter("sgx.gateway.ecalls", private=True)
+        self.ocalls = registry.counter("sgx.gateway.ocalls", private=True)
+        self.exitless = registry.counter("sgx.gateway.exitless", private=True)
+        #: shared expected-EPC-fault counter; the cost-accounting ecalls
+        #: (repro.core.enclave_app) add their charged fault counts here
+        self.epc_faults = registry.counter("sgx.epc.page_faults")
         self._ocalls: Dict[str, Callable] = {}
         self._validators: Dict[str, Callable[..., bool]] = {}
 
@@ -136,7 +150,7 @@ class EnclaveGateway:
         if validator is not None and not validator(*args, **kwargs):
             raise InterfaceViolation(f"ecall {name!r}: argument sanity check failed")
         handler = self.enclave._enter(name)
-        self.ecall_count += 1
+        self.ecalls.inc()
         self._charge_transition(payload_bytes)
         try:
             return handler(self.enclave, self, *args, **kwargs)
@@ -165,7 +179,7 @@ class EnclaveGateway:
                 if not validator(*args, **kwargs):
                     raise InterfaceViolation(f"ecall {name!r}: argument sanity check failed")
         handler = self.enclave._enter(name)
-        self.ecall_count += 1
+        self.ecalls.inc()
         self._charge_transition(payload_bytes)
         try:
             enclave = self.enclave
@@ -182,11 +196,11 @@ class EnclaveGateway:
         handler = self._ocalls.get(name)
         if handler is None:
             raise EnclaveError(f"undeclared ocall {name!r}")
-        self.ocall_count += 1
+        self.ocalls.inc()
         if self.exitless_ocalls and self.enclave.mode is EnclaveMode.HARDWARE:
             # shared-memory request to the untrusted worker: no EEXIT,
             # just queueing/polling cost plus the boundary copy
-            self.exitless_serviced += 1
+            self.exitless.inc()
             self.ledger.add(self.exitless_cost + payload_bytes * self.copy_cost_per_byte)
             result = handler(*args, **kwargs)
         else:
@@ -201,4 +215,36 @@ class EnclaveGateway:
 
     @property
     def transitions(self) -> int:
-        return self.ecall_count + self.ocall_count
+        """Total boundary crossings (ecalls + ocalls)."""
+        return self.ecalls.value + self.ocalls.value
+
+    # -- deprecated pre-telemetry attribute shims ----------------------
+    @property
+    def ecall_count(self) -> int:
+        """Deprecated alias for ``self.ecalls.value``."""
+        warnings.warn(
+            "EnclaveGateway.ecall_count is deprecated; read gateway.ecalls.value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.ecalls.value
+
+    @property
+    def ocall_count(self) -> int:
+        """Deprecated alias for ``self.ocalls.value``."""
+        warnings.warn(
+            "EnclaveGateway.ocall_count is deprecated; read gateway.ocalls.value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.ocalls.value
+
+    @property
+    def exitless_serviced(self) -> int:
+        """Deprecated alias for ``self.exitless.value``."""
+        warnings.warn(
+            "EnclaveGateway.exitless_serviced is deprecated; read gateway.exitless.value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.exitless.value

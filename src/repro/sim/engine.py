@@ -16,7 +16,10 @@ sequence number, never by object identity.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.telemetry.registry import Registry, _set_current
 
 
 class SimulationError(RuntimeError):
@@ -240,18 +243,36 @@ class AnyOf(Event):
             child.add_callback(cb)
 
 
-class Simulator:
+class _SimulatorMeta(type):
+    """Metaclass hosting the deprecated process-wide counter shim."""
+
+    @property
+    def events_executed_total(cls) -> int:
+        """Deprecated: read ``sim.engine.events`` from the telemetry process root."""
+        warnings.warn(
+            "Simulator.events_executed_total is deprecated; read "
+            "repro.telemetry.Registry.process_root().value('sim.engine.events')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Registry.process_root().value("sim.engine.events")
+
+
+class Simulator(metaclass=_SimulatorMeta):
     """Deterministic discrete-event simulator.
+
+    Each instance owns a fresh :class:`~repro.telemetry.registry.Registry`
+    (``self.telemetry``) parented to the current aggregation root, so its
+    counters start at zero and die with it; components built after the
+    simulator attach to it via ``Registry.current()``.
 
     Attributes
     ----------
     now:
         Current simulation time in seconds.
+    telemetry:
+        This simulator's metrics registry (clocked by ``self.now``).
     """
-
-    #: heap entries executed across every Simulator in the process; the
-    #: benchmark harness snapshots this to report events/sec per bench
-    events_executed_total = 0
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -260,6 +281,11 @@ class Simulator:
         self._running = False
         #: heap entries executed so far (perf harness / bench metadata)
         self.events_executed = 0
+        self.telemetry = Registry(
+            clock=lambda: self.now, parent=Registry.root(), label="simulator"
+        )
+        self._tm_events = self.telemetry.counter("sim.engine.events", private=True)
+        _set_current(self.telemetry)
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -340,7 +366,7 @@ class Simulator:
             raise SimulationError("time went backwards")
         self.now = when
         self.events_executed += 1
-        Simulator.events_executed_total += 1
+        self._tm_events.inc()
         if kind == 0:
             payload()
         elif kind == 1:
@@ -393,7 +419,7 @@ class Simulator:
                 self.now = until
         finally:
             self.events_executed += executed
-            Simulator.events_executed_total += executed
+            self._tm_events.inc(executed)
             self._running = False
 
     def peek(self) -> Optional[float]:

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import enum
 import struct
+import warnings
 
 from repro.crypto.hmac import hmac_sha256, hmac_verify
 from repro.crypto.stream import KeystreamCipher
+from repro.telemetry.registry import Registry
 from repro.vpn.protocol import OP_DATA, VpnPacket
 
 TAG_LEN = 16
@@ -36,7 +38,16 @@ class ProtectionMode(enum.Enum):
 
 
 class DataChannel:
-    """Symmetric protection for one VPN session direction."""
+    """Symmetric protection for one VPN session direction.
+
+    Packet and byte tallies report through :mod:`repro.telemetry`: the
+    public :attr:`protected` / :attr:`rejected` /
+    :attr:`bytes_protected` / :attr:`bytes_unprotected` counters are
+    private instruments (per-channel ``.value``) mirroring into the
+    owning registry's shared ``vpn.channel.*`` totals.  The
+    pre-telemetry ``packets_protected`` / ``packets_rejected`` names
+    remain as deprecated read-only shims.
+    """
 
     def __init__(self, cipher_key: bytes, hmac_key: bytes, mode: ProtectionMode = ProtectionMode.ENCRYPT_AND_MAC) -> None:
         if len(cipher_key) < 16 or len(hmac_key) < 16:
@@ -44,8 +55,33 @@ class DataChannel:
         self._cipher = KeystreamCipher(cipher_key.ljust(16, b"\x00"))
         self._hmac_key = hmac_key
         self.mode = mode
-        self.packets_protected = 0
-        self.packets_rejected = 0
+        registry = Registry.current()
+        self.telemetry = registry
+        self.protected = registry.counter("vpn.channel.packets_protected", private=True)
+        self.rejected = registry.counter("vpn.channel.packets_rejected", private=True)
+        self.bytes_protected = registry.counter("vpn.channel.bytes_protected", private=True)
+        self.bytes_unprotected = registry.counter("vpn.channel.bytes_unprotected", private=True)
+
+    # -- deprecated pre-telemetry attribute shims ----------------------
+    @property
+    def packets_protected(self) -> int:
+        """Deprecated alias for ``self.protected.value``."""
+        warnings.warn(
+            "DataChannel.packets_protected is deprecated; read channel.protected.value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.protected.value
+
+    @property
+    def packets_rejected(self) -> int:
+        """Deprecated alias for ``self.rejected.value``."""
+        warnings.warn(
+            "DataChannel.packets_rejected is deprecated; read channel.rejected.value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.rejected.value
 
     # ------------------------------------------------------------------
     def _nonce(self, session_id: int, packet_id: int) -> bytes:
@@ -62,7 +98,8 @@ class DataChannel:
         packet.body = payload  # header must reflect final body for the MAC
         tag = hmac_sha256(self._hmac_key, packet.auth_header(), payload)[:TAG_LEN]
         packet.body = payload + tag
-        self.packets_protected += 1
+        self.protected.inc()
+        self.bytes_protected.inc(len(plaintext))
         return packet
 
     def protect_batch(self, items) -> list:
@@ -80,6 +117,7 @@ class DataChannel:
         encrypting = self.mode is ProtectionMode.ENCRYPT_AND_MAC
         protected = []
         append = protected.append
+        total_plain = 0
         for packet, plaintext in items:
             if packet.opcode != OP_DATA:
                 raise ChannelError("data channel only protects DATA packets")
@@ -90,8 +128,10 @@ class DataChannel:
             packet.body = payload  # header must reflect final body for the MAC
             tag = hmac_sha256(hmac_key, packet.auth_header(), payload)[:TAG_LEN]
             packet.body = payload + tag
+            total_plain += len(plaintext)
             append(packet)
-        self.packets_protected += len(protected)
+        self.protected.inc(len(protected))
+        self.bytes_protected.inc(total_plain)
         return protected
 
     def unprotect_batch(self, packets) -> list:
@@ -115,7 +155,7 @@ class DataChannel:
     def unprotect(self, packet: VpnPacket) -> bytes:
         """Authenticate and (if encrypted) decrypt a DATA packet body."""
         if len(packet.body) < TAG_LEN:
-            self.packets_rejected += 1
+            self.rejected.inc()
             raise ChannelError("data packet too short")
         payload, tag = packet.body[:-TAG_LEN], packet.body[-TAG_LEN:]
         header = VpnPacket(
@@ -128,8 +168,9 @@ class DataChannel:
             frag_count=packet.frag_count,
         ).auth_header()
         if not hmac_verify(self._hmac_key, header + payload, tag):
-            self.packets_rejected += 1
+            self.rejected.inc()
             raise ChannelError("data packet failed authentication")
+        self.bytes_unprotected.inc(len(payload))
         if self.mode is ProtectionMode.ENCRYPT_AND_MAC:
             return self._cipher.decrypt(self._nonce(packet.session_id, packet.packet_id), payload)
         return payload

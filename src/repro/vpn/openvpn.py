@@ -59,6 +59,7 @@ from repro.vpn.handshake import (
 )
 from repro.vpn.management import ManagementInterface
 from repro.vpn.ping import PingError, PingMessage
+from repro.telemetry.registry import Registry
 from repro.vpn.protocol import (
     OP_CONTROL_HELLO,
     OP_CONTROL_REPLY,
@@ -161,6 +162,9 @@ class OpenVpnServer:
         self.sessions_by_peer: Dict[Tuple[IPv4Address, int], VpnSession] = {}
         self.sessions_by_tunnel_ip: Dict[IPv4Address, VpnSession] = {}
         self._next_session = 1
+        _registry = Registry.current()
+        self._tm_ctrl_packets = _registry.counter("vpn.control.packets_sent")
+        self._tm_ctrl_bytes = _registry.counter("vpn.control.bytes_sent")
         # EndBox configuration enforcement state (§III-E)
         self.current_config_version = 1
         self.grace_deadline: Optional[float] = None
@@ -306,9 +310,10 @@ class OpenVpnServer:
         self.sessions_by_tunnel_ip[tunnel_ip] = session
         self.handshakes_completed += 1
         self.on_session_created(session)
-        self.sock.sendto(
-            VpnPacket(OP_CONTROL_REPLY, session.session_id, 0, reply).serialize(), src, src_port
-        )
+        wire = VpnPacket(OP_CONTROL_REPLY, session.session_id, 0, reply).serialize()
+        self._tm_ctrl_packets.inc()
+        self._tm_ctrl_bytes.inc(len(wire))
+        self.sock.sendto(wire, src, src_port)
 
     def on_session_created(self, session: VpnSession) -> None:
         """Hook: subclasses attach middleboxes / record state here."""
@@ -413,11 +418,10 @@ class OpenVpnServer:
             }
         ).encode()
         tag = hmac_sha256(session.secrets.server_hmac, b"session-config", body)[:16]
-        self.sock.sendto(
-            VpnPacket(OP_SESSION_CONFIG, session.session_id, 0, body + tag).serialize(),
-            session.outer_addr,
-            session.outer_port,
-        )
+        wire = VpnPacket(OP_SESSION_CONFIG, session.session_id, 0, body + tag).serialize()
+        self._tm_ctrl_packets.inc()
+        self._tm_ctrl_bytes.inc(len(wire))
+        self.sock.sendto(wire, session.outer_addr, session.outer_port)
 
     def _send_ping(self, session: VpnSession) -> None:
         ping = PingMessage(
@@ -425,13 +429,12 @@ class OpenVpnServer:
             grace_period_s=self.grace_period_s,
             timestamp_ns=int(self.sim.now * 1e9),
         )
-        self.sock.sendto(
-            VpnPacket(
-                OP_PING, session.session_id, 0, ping.serialize(session.secrets.server_hmac)
-            ).serialize(),
-            session.outer_addr,
-            session.outer_port,
-        )
+        wire = VpnPacket(
+            OP_PING, session.session_id, 0, ping.serialize(session.secrets.server_hmac)
+        ).serialize()
+        self._tm_ctrl_packets.inc()
+        self._tm_ctrl_bytes.inc(len(wire))
+        self.sock.sendto(wire, session.outer_addr, session.outer_port)
 
     def _send_data(self, session: VpnSession, inner_bytes: bytes) -> None:
         frag_id, pieces = session.fragmenter.split(inner_bytes)
@@ -503,6 +506,9 @@ class OpenVpnClient:
         self.fragmenter = Fragmenter()
         self._next_packet_id = 1
         self._control_inbox = FifoStore(self.sim, name=f"{host.name}.vpn-control")
+        _registry = Registry.current()
+        self._tm_ctrl_packets = _registry.counter("vpn.control.packets_sent")
+        self._tm_ctrl_bytes = _registry.counter("vpn.control.bytes_sent")
         self._work_inbox = FifoStore(self.sim, name=f"{host.name}.vpn-work")
         self.connected_event = self.sim.event("vpn-connected")
         self.inner_bytes_sent = 0
@@ -583,11 +589,10 @@ class OpenVpnClient:
         reply = None
         for _attempt in range(10):
             yield from self._charge(self.model.asymmetric_op)
-            self.sock.sendto(
-                VpnPacket(OP_CONTROL_HELLO, 0, 0, hello).serialize(),
-                self.server_addr,
-                self.server_port,
-            )
+            wire = VpnPacket(OP_CONTROL_HELLO, 0, 0, hello).serialize()
+            self._tm_ctrl_packets.inc()
+            self._tm_ctrl_bytes.inc(len(wire))
+            self.sock.sendto(wire, self.server_addr, self.server_port)
             reply = yield from self._await_control((OP_CONTROL_REPLY, OP_REJECT), timeout=1.0)
             if reply is not None:
                 break
@@ -790,13 +795,12 @@ class OpenVpnClient:
             grace_period_s=0.0,
             timestamp_ns=int(self.sim.now * 1e9),
         )
-        self.sock.sendto(
-            VpnPacket(
-                OP_PING, self.session_id, 0, ping.serialize(self.secrets.client_hmac)
-            ).serialize(),
-            self.server_addr,
-            self.server_port,
-        )
+        wire = VpnPacket(
+            OP_PING, self.session_id, 0, ping.serialize(self.secrets.client_hmac)
+        ).serialize()
+        self._tm_ctrl_packets.inc()
+        self._tm_ctrl_bytes.inc(len(wire))
+        self.sock.sendto(wire, self.server_addr, self.server_port)
 
     def _ping_loop(self):
         while True:

@@ -36,7 +36,7 @@ def test_traffic_flows_and_click_processes(connected_world):
     source.stop()
     world.sim.run(until=world.sim.now + 0.2)
     assert sink.packets > 10
-    assert client.endbox.gateway.ecall_count > 10  # one ecall per packet
+    assert client.endbox.gateway.ecalls.value > 10  # one ecall per packet
 
 
 def test_bypass_attempt_blocked_by_static_firewall(connected_world):

@@ -21,7 +21,7 @@ from repro.experiments.common import format_table, relative_error
 
 def test_fig8_single_point():
     result = fig8_packet_size.run(sizes=(1500,), setups=("vanilla",), duration=0.03)
-    mbps = result.measured["vanilla OpenVPN"][1500]
+    mbps = result.series["vanilla OpenVPN"][1500]
     assert abs(mbps - 813) / 813 < 0.15
     text = result.to_text()
     assert "vanilla OpenVPN" in text and "1500" in text
@@ -29,7 +29,7 @@ def test_fig8_single_point():
 
 def test_fig9_single_point():
     result = fig9_functions.run(use_cases=("FW",), setups=("endbox_sgx",), duration=0.03)
-    mbps = result.measured["EndBox SGX"]["FW"]
+    mbps = result.series["EndBox SGX"]["FW"]
     assert abs(mbps - 527) / 527 < 0.20
 
 
@@ -37,7 +37,7 @@ def test_fig10a_small_grid():
     result = fig10_scalability.run_fig10a(
         counts=(1, 5), setups=("vanilla",), duration=0.015, warmup=0.01
     )
-    series = result.throughput_gbps["vanilla OpenVPN"]
+    series = result.series["vanilla OpenVPN"]
     assert series[1] == pytest.approx(0.2, rel=0.15)
     assert series[5] == pytest.approx(1.0, rel=0.15)
     assert "server CPU" in result.to_text()
@@ -55,22 +55,24 @@ def test_fig10b_speedup_helper():
 
 def test_fig7_subset():
     result = fig7_redirection.run(methods=("no redirection", "AWS us-east"))
-    assert result.measured["no redirection"] == pytest.approx(10.8, rel=0.05)
-    assert result.measured["AWS us-east"] == pytest.approx(202.3, rel=0.05)
+    rtts = result.series["ping RTT"]
+    assert rtts["no redirection"] == pytest.approx(10.8, rel=0.05)
+    assert rtts["AWS us-east"] == pytest.approx(202.3, rel=0.05)
 
 
 def test_table2_result_structure():
     result = table2_reconfig.run()
-    assert 0.2 < result.endbox_vs_vanilla_hotswap < 0.45
-    assert result.measured["EndBox"]["total"] == pytest.approx(
-        sum(result.measured["EndBox"][p] for p in ("fetch", "decryption", "hotswap"))
+    assert 0.2 < result.metadata["endbox_vs_vanilla_hotswap"] < 0.45
+    assert result.series["EndBox"]["total"] == pytest.approx(
+        sum(result.series["EndBox"][p] for p in ("fetch", "decryption", "hotswap"))
     )
 
 
 def test_fig11_loses_exactly_one_ping():
     result = fig11_reconfig_latency.run()
-    assert result.lost("EndBox") == 1
-    assert result.lost("OpenVPN+Click") == 1
+    assert fig11_reconfig_latency.lost(result, "EndBox") == 1
+    assert fig11_reconfig_latency.lost(result, "OpenVPN+Click") == 1
+    assert result.metadata["lost"] == {"EndBox": 1, "OpenVPN+Click": 1}
 
 
 def test_optimizations_isp_gain():
@@ -90,5 +92,5 @@ def test_experiments_are_deterministic():
     results = []
     for _ in range(2):
         result = fig8_packet_size.run(sizes=(1500,), setups=("endbox_sgx",), duration=0.02)
-        results.append(result.measured["EndBox SGX"][1500])
+        results.append(result.series["EndBox SGX"][1500])
     assert results[0] == results[1]

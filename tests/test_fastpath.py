@@ -77,7 +77,7 @@ def test_protect_batch_ciphertexts_identical():
     items = [(VpnPacket(OP_DATA, 9, pid), p) for pid, p in enumerate(payloads, start=1)]
     batch_wire = [p.serialize() for p in tx_batch.protect_batch(items)]
     assert batch_wire == scalar_wire
-    assert tx_batch.packets_protected == tx_scalar.packets_protected == len(payloads)
+    assert tx_batch.protected.value == tx_scalar.protected.value == len(payloads)
 
 
 def test_protect_batch_rejects_non_data_opcode():
@@ -97,7 +97,7 @@ def test_unprotect_batch_isolates_forged_packet():
     packets[1].body = b"\x00" * len(packets[1].body)  # forge the middle one
     out = rx.unprotect_batch(packets)
     assert out == [b"first", None, b"third"]
-    assert rx.packets_rejected == 1
+    assert rx.rejected.value == 1
 
 
 # ----------------------------------------------------------------------
@@ -182,21 +182,21 @@ def test_ecall_batch_single_crossing_and_discount(endbox):
     packets = burst(8)
 
     gateway.ledger.drain()
-    before = gateway.ecall_count
+    before = gateway.ecalls.value
     scalar_out = [
         gateway.ecall("process_packet", p, "egress", MODE, True, payload_bytes=len(p))
         for p in packets
     ]
-    scalar_crossings = gateway.ecall_count - before
+    scalar_crossings = gateway.ecalls.value - before
     scalar_cost = gateway.ledger.drain()
 
-    before = gateway.ecall_count
+    before = gateway.ecalls.value
     batch_out = gateway.ecall_batch(
         "process_packet",
         [(p, "egress", MODE, True) for p in packets],
         payload_bytes=sum(len(p) for p in packets),
     )
-    batch_crossings = gateway.ecall_count - before
+    batch_crossings = gateway.ecalls.value - before
     batch_cost = gateway.ledger.drain()
 
     assert scalar_crossings == len(packets)
@@ -212,10 +212,10 @@ def test_ecall_batch_validates_every_item_before_entering(endbox):
     gateway = endbox.gateway
     good = udp_packet()
     calls = [(good, "egress", MODE, True), (b"not-a-packet", "egress", MODE, True)]
-    before = gateway.ecall_count
+    before = gateway.ecalls.value
     with pytest.raises(InterfaceViolation):
         gateway.ecall_batch("process_packet", calls)
-    assert gateway.ecall_count == before  # the enclave was never entered
+    assert gateway.ecalls.value == before  # the enclave was never entered
 
 
 # ----------------------------------------------------------------------

@@ -133,7 +133,7 @@ def test_epc_within_budget_no_paging():
 def test_ecall_dispatch_and_counting(enclave):
     gateway = EnclaveGateway(enclave)
     assert gateway.ecall("echo", 42) == ("echo", 42)
-    assert gateway.ecall_count == 1
+    assert gateway.ecalls.value == 1
 
 
 def test_undeclared_ecall_rejected(enclave):
@@ -365,7 +365,7 @@ def test_exitless_ocalls_skip_transitions():
     )
     gateway.register_ocall("fetch", lambda: b"data", validator=lambda r: isinstance(r, bytes))
     assert gateway.ocall("fetch", payload_bytes=100) == b"data"
-    assert gateway.exitless_serviced == 1
+    assert gateway.exitless.value == 1
     assert ledger.total == pytest.approx(0.2e-6)  # no 2x 4us transitions
     # ecalls still pay the full transition price
     gateway.ecall("echo", 1)
@@ -408,8 +408,8 @@ def test_exitless_ocalls_free_in_simulation_mode():
     # simulation mode takes the regular (uncharged) path: nothing hits the
     # ledger and the exitless worker is never involved
     assert ledger.total == 0.0
-    assert gateway.exitless_serviced == 0
-    assert gateway.ocall_count == 1
+    assert gateway.exitless.value == 0
+    assert gateway.ocalls.value == 1
 
 
 def test_rejected_ecall_still_counts_the_attempted_transition(enclave):
@@ -419,7 +419,7 @@ def test_rejected_ecall_still_counts_the_attempted_transition(enclave):
         gateway.ecall("store", 123, 1)
     # the validator fires before EENTER: no transition happened, the
     # enclave was never entered, and the handler never ran
-    assert gateway.ecall_count == 0
+    assert gateway.ecalls.value == 0
     assert 123 not in enclave.trusted_state
 
 
@@ -430,7 +430,7 @@ def test_rejected_ocall_return_counts_the_completed_exit(enclave):
         gateway.ocall("lie")
     # the untrusted handler DID run (the exit happened); only the return
     # value was stopped at the boundary on the way back in
-    assert gateway.ocall_count == 1
+    assert gateway.ocalls.value == 1
 
 
 def test_ledger_drain_is_idempotent_until_new_costs():
