@@ -70,6 +70,11 @@ TRUST_MAP: Dict[str, TrustDomain] = {
     "repro.attacks": TrustDomain.UNTRUSTED,
     "repro.http": TrustDomain.UNTRUSTED,
     "repro.netsim": TrustDomain.UNTRUSTED,
+    # fault injection is machine-owner tooling, like the netsim
+    # "hardware" it breaks: it flips public host-side switches and never
+    # touches enclave-private state; deliberately NOT on the
+    # determinism allowlist — plans run on the sim clock only
+    "repro.faults": TrustDomain.UNTRUSTED,
     "repro.experiments": TrustDomain.UNTRUSTED,
     "repro.consensus": TrustDomain.UNTRUSTED,
     # the wall-clock micro-harness times host-side Python, never enclave

@@ -108,13 +108,26 @@ class ConfigFileServer:
             self.http.model = cost_model.scaled(http_server_service=cost_model.config_server_service)
         self.bundles: Dict[int, ConfigBundle] = {}
         self.latest_version: Optional[int] = None
+        # recovery endpoint: a client locked out after its grace period
+        # knows only that its version is old, not the current number
+        self.http.add_resource("/configs/latest", self._latest_blob)
 
     def start(self) -> None:
         """Start the component's simulation processes."""
         self.http.start()
 
     def store(self, bundle: ConfigBundle) -> None:
-        """Publish a bundle at /configs/v<version>."""
+        """Publish a bundle at /configs/v<version> (and /configs/latest)."""
         self.bundles[bundle.version] = bundle
         self.latest_version = max(self.latest_version or 0, bundle.version)
         self.http.add_resource(f"/configs/v{bundle.version}", bundle.blob)
+
+    def _latest_blob(self) -> bytes:
+        """Provider for ``/configs/latest``; empty before any publish."""
+        if self.latest_version is None:
+            return b""
+        return self.bundles[self.latest_version].blob
+
+    def set_down(self, down: bool) -> None:
+        """Fault injection: toggle an outage window (requests answer 503)."""
+        self.http.suspended = bool(down)

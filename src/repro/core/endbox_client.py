@@ -61,6 +61,8 @@ class EndBoxClient(OpenVpnClient):
         c2c_flagging: bool = True,
         ecall_batching: bool = False,
         ecall_batch_limit: int = 32,
+        config_fetch_attempts: int = 6,
+        config_fetch_backoff_s: float = 0.25,
         **vpn_kwargs,
     ) -> None:
         if ecall_batching and not single_ecall_optimization:
@@ -98,9 +100,18 @@ class EndBoxClient(OpenVpnClient):
         self.c2c_flagging = c2c_flagging
         self.config_server = config_server
         self.click_config = click_config
+        self.ruleset_text = ruleset_text
         self.packets_dropped_by_click = 0
         self.update_timings: list = []
         self.update_in_progress = False
+        # bounded retry-with-backoff for the Fig 5 fetch (steps 5-9):
+        # the configuration file server may be down mid-rollout
+        if config_fetch_attempts < 1:
+            raise ValueError("config_fetch_attempts must be at least 1")
+        self.config_fetch_attempts = config_fetch_attempts
+        self.config_fetch_backoff_s = config_fetch_backoff_s
+        self.config_fetch_retries = 0
+        self.config_fetch_failures = 0
         self.endbox.gateway.ecall(
             "initialize", click_config, ruleset_text, sim=self.sim, payload_bytes=len(click_config)
         )
@@ -173,7 +184,7 @@ class EndBoxClient(OpenVpnClient):
         # a control packet never jumps ahead of the data burst before it.
         inbox = self._work_inbox
         while True:
-            kind, item = yield inbox.get()
+            kind, item, epoch = yield inbox.get()
             if kind == "tx":
                 batch = [item]
                 while len(batch) < self.ecall_batch_limit:
@@ -185,13 +196,20 @@ class EndBoxClient(OpenVpnClient):
                     yield from self._handle_egress(item)
                 else:
                     yield from self._handle_egress_batch(batch)
-            elif isinstance(item, VpnPacket) and item.opcode == OP_DATA:
+                continue
+            if epoch != self.channel_epoch:
+                # superseded-key item (see OpenVpnClient._worker): drop
+                # deliberately rather than feed the fresh replay window
+                self.packets_dropped_stale += 1
+                continue
+            if isinstance(item, VpnPacket) and item.opcode == OP_DATA:
                 batch = [item]
                 while len(batch) < self.ecall_batch_limit:
                     pending = inbox.peek()
                     if (
                         pending is None
                         or pending[0] == "tx"
+                        or pending[2] != self.channel_epoch
                         or not isinstance(pending[1], VpnPacket)
                         or pending[1].opcode != OP_DATA
                     ):
@@ -332,19 +350,45 @@ class EndBoxClient(OpenVpnClient):
             self._fetch_and_apply(ping.config_version), name=f"{self.host.name}.config-update"
         )
 
-    def _fetch_and_apply(self, version: int):
-        """Fig 5 steps 5-9: fetch, decrypt, hot-swap, confirm."""
+    def _fetch_and_apply(self, version: Optional[int]):
+        """Fig 5 steps 5-9: fetch, decrypt, hot-swap, confirm.
+
+        ``version=None`` fetches ``/configs/latest`` — the recovery path
+        for a client locked out after its grace period expired (it does
+        not know the current version number, only that its own is old).
+
+        The fetch is retried with bounded exponential backoff: the file
+        server may be briefly down mid-rollout, and the paper's protocol
+        only re-announces at the next ping, which under churn can leave
+        clients permanently stale.
+        """
         try:
             server_addr, server_port = self.config_server
+            path = "/configs/latest" if version is None else f"/configs/v{version}"
             http = HttpClient(self.host)
             fetch_started = self.sim.now
-            try:
-                response = yield self.sim.process(
-                    http.get(server_addr, f"/configs/v{version}", port=server_port)
-                )
-            except HttpError:
-                return
-            if response.status != 200:
+            response = None
+            backoff = self.config_fetch_backoff_s
+            for attempt in range(self.config_fetch_attempts):
+                if attempt:
+                    self.config_fetch_retries += 1
+                    yield self.sim.timeout(backoff)
+                    backoff *= 2.0
+                if self.suspended:
+                    return  # crashed mid-update; state is rebuilt on restore
+                try:
+                    candidate = yield self.sim.process(
+                        http.get(server_addr, path, port=server_port)
+                    )
+                except HttpError:
+                    continue
+                if candidate.status == 200 and candidate.body:
+                    response = candidate
+                    break
+            if response is None:
+                self.config_fetch_failures += 1
+                return  # give up; the next ping announcement retries
+            if self.suspended:
                 return
             fetch_s = self.sim.now - fetch_started
             try:
@@ -385,6 +429,70 @@ class EndBoxClient(OpenVpnClient):
         self.config_version = applied_version
         self._send_ping()
         return swap
+
+    # ------------------------------------------------------------------
+    # recovery paths (fault injection, §III-E edge cases)
+    # ------------------------------------------------------------------
+    def on_connected(self, settings: dict) -> None:
+        """Pin a direct host route to the configuration file server.
+
+        The file server is publicly reachable (§III-E), so fetches go
+        straight over the LAN instead of through the tunnel — exactly
+        like the pinned route for the VPN server's own outer address.
+        The post-grace lockout recovery depends on this: it must fetch
+        while the tunnel is down, when a tunnel-routed request (and its
+        reply to the tunnel source address) would be blackholed.
+        """
+        super().on_connected(settings)
+        if self.config_server is None:
+            return
+        physical = None
+        for itf in self.host.stack.interfaces:
+            if itf is not self.tun and itf.address is not None:
+                physical = itf
+                break
+        if physical is not None:
+            self.host.stack.add_route(f"{self.config_server[0]}/32", physical)
+
+    def on_reconnect_failed(self, exc) -> None:
+        """Recover from post-grace lockout (admission denied on reconnect).
+
+        A client that was offline past its grace deadline is refused
+        readmission with its stale version number.  The way back in is
+        to fetch the *latest* configuration from the file server, apply
+        it in-enclave, and retry the handshake with a current version at
+        the next DPD tick.
+        """
+        if "rejected" not in str(exc):
+            return
+        if self.config_server is None or self.update_in_progress:
+            return
+        self.update_in_progress = True
+        self.sim.process(
+            self._fetch_and_apply(None), name=f"{self.host.name}.config-recover"
+        )
+
+    def rebuild_enclave(self, endbox: EndBoxEnclave) -> None:
+        """Install a freshly created + restored enclave after a crash.
+
+        The sealed credentials survive (restore_client re-attests via
+        unsealing, §III-C); the in-RAM Click graph does not, so the
+        enclave is re-initialised with the provisioning-time
+        configuration and the version number drops back to 1 — the
+        grace-period machinery (or the lockout-recovery fetch) brings
+        the client forward again.
+        """
+        self.endbox = endbox
+        endbox.gateway.ecall("set_cost_model", self.model, payload_bytes=0)
+        endbox.gateway.ecall(
+            "initialize",
+            self.click_config,
+            self.ruleset_text,
+            sim=self.sim,
+            payload_bytes=len(self.click_config),
+        )
+        self.config_version = 1
+        self._swap_until = 0.0
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -39,7 +39,8 @@ class EndBoxServer(OpenVpnServer):
         if self.require_attested_subject and not certificate.subject.startswith("endbox:"):
             self.admissions_denied += 1
             return False
-        grace_expired = self.grace_deadline is not None and self.sim.now >= self.grace_deadline
+        deadline = self.grace_deadline_for(client_version)
+        grace_expired = deadline is not None and self.sim.now >= deadline
         if grace_expired and client_version < self.current_config_version:
             # §III-E: after the grace period, reconnecting clients must
             # fetch the current configuration before connecting.

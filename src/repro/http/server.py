@@ -38,6 +38,12 @@ class HttpServer:
         self.charge_cpu = charge_cpu
         self.resources: Dict[str, ContentProvider] = {}
         self.requests_served = 0
+        #: fault-injection state: while suspended the server still
+        #: accepts connections (the listener is kernel state) but answers
+        #: 503 — connections must not hang, because HttpClient has no
+        #: read timeout
+        self.suspended = False
+        self.requests_rejected = 0
         self._started = False
 
     def add_resource(self, path: str, content: ContentProvider) -> None:
@@ -66,6 +72,10 @@ class HttpServer:
                 stream = _PlainStream(conn)
             while True:
                 request = yield from stream.read_until(b"\r\n\r\n")
+                if self.suspended:
+                    self.requests_rejected += 1
+                    stream.send(_response(503, b"service unavailable"))
+                    break
                 response = self._respond(request)
                 if self.charge_cpu:
                     yield from self.host.execute(
@@ -95,7 +105,13 @@ class HttpServer:
 
 
 def _response(status: int, body: bytes) -> bytes:
-    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed"}
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        503: "Service Unavailable",
+    }
     return (
         f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
         f"Content-Length: {len(body)}\r\n\r\n"

@@ -56,6 +56,9 @@ class Link:
         #: random frame-loss probability (failure injection); uses a
         #: deterministic per-link RNG so lossy runs stay reproducible
         self.loss_rate = loss_rate
+        #: administrative partition (failure injection): while down, every
+        #: frame reaching the head of the queue is lost
+        self.down = False
         self._loss_rng = None
         if loss_rate:
             self._loss_rng = _loss_rng_for(name)
@@ -83,6 +86,19 @@ class Link:
         if rate and self._loss_rng is None:
             self._loss_rng = _loss_rng_for(self.name)
 
+    def set_down(self, down: bool) -> None:
+        """Partition or restore the link (both directions).
+
+        A partition drops frames *without* consuming the loss RNG, so
+        injecting one does not perturb the deterministic loss stream of
+        a concurrently lossy link.
+        """
+        self.down = bool(down)
+
+    def set_latency(self, latency_s: float) -> None:
+        """Adjust propagation latency (failure injection: latency spike)."""
+        self.latency_s = latency_s
+
     def attach(self, interface: "Interface") -> None:
         """Attach an endpoint; a link accepts exactly two."""
         if self.endpoint_a is None:
@@ -108,6 +124,10 @@ class Link:
             frame = yield queue.get()
             wire_bytes = len(frame) + ETHERNET_OVERHEAD
             yield self.sim.timeout(wire_bytes * 8 / self.bandwidth_bps)
+            if self.down:
+                self.frames_lost += 1
+                self._tm_lost.inc()
+                continue
             if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
                 self.frames_lost += 1
                 self._tm_lost.inc()

@@ -168,6 +168,28 @@ class NetworkStack:
                 return itf.address
         raise StackError(f"{self.hostname}: no addressed interface")
 
+    def source_address_for(self, destination: IPv4Address) -> IPv4Address:
+        """The source address for a new flow to ``destination``.
+
+        Follows the route, as Linux does: when the egress interface for
+        the destination holds an address and the stack's preferred
+        source (a VPN tunnel address) lives on a *different* interface,
+        the egress interface's own address wins.  This is what makes a
+        pinned host route escape the tunnel completely — replies come
+        straight back to the physical address instead of being
+        blackholed in a tunnel that may be down.
+        """
+        if type(destination) is not IPv4Address:
+            destination = IPv4Address(destination)
+        itf = self.route_for(destination)
+        preferred = getattr(self, "_preferred_source", None)
+        if itf is not None and itf.address is not None:
+            if preferred is None or preferred is itf.address:
+                return itf.address
+            if any(o.address is preferred for o in self.interfaces if o is not itf):
+                return itf.address
+        return self.primary_address()
+
     def add_raw_listener(self, listener: Callable[[IPv4Packet, Interface], bool]) -> None:
         """Register a promiscuous tap; return True from it to consume."""
         self._raw_listeners.append(listener)

@@ -353,7 +353,7 @@ class TcpEngine:
 
     def connect(self, remote_addr: IPv4Address, remote_port: int, timeout: float = 5.0):
         """Process generator: active open; returns an ESTABLISHED connection."""
-        local_addr = self.stack.primary_address()
+        local_addr = self.stack.source_address_for(remote_addr)
         local_port = self.stack._next_ephemeral()
         self._isn += 64000
         conn = TcpConnection(

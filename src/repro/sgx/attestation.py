@@ -153,16 +153,18 @@ class SgxPlatform:
         self.ias = ias
         attestation_key = ias.provision_platform(self.platform_id)
         self.quoting_enclave = QuotingEnclave(self, attestation_key)
-        self._resident: Set[str] = set()
+        # keyed by object identity: enclave ids are per-EPC sequences,
+        # so two enclaves on different platforms may share an id string
+        self._resident: Set[int] = set()
         self._report_key = sha256(self.platform_id.encode(), b"report-key")
 
     def load(self, enclave: Enclave) -> None:
         """Record that ``enclave`` runs on this platform."""
-        self._resident.add(enclave.enclave_id)
+        self._resident.add(id(enclave))
 
     def create_report(self, enclave: Enclave, user_data: bytes) -> Report:
         """EREPORT: bind ``user_data`` to the enclave's measurement."""
-        if enclave.enclave_id not in self._resident:
+        if id(enclave) not in self._resident:
             raise AttestationError(f"{enclave.enclave_id} is not resident on {self.platform_id}")
         if enclave.destroyed:
             raise AttestationError("cannot report a destroyed enclave")
@@ -189,7 +191,7 @@ class SgxPlatform:
 
     def verify_local_report(self, verifier: Enclave, report: Report, mac: bytes) -> bool:
         """A resident enclave checks a sibling's local report."""
-        if verifier.enclave_id not in self._resident or verifier.destroyed:
+        if id(verifier) not in self._resident or verifier.destroyed:
             return False
         if report.platform_id != self.platform_id:
             return False  # reports never verify across machines
@@ -197,7 +199,7 @@ class SgxPlatform:
 
     def local_attest(self, reporter: Enclave, verifier: Enclave, user_data: bytes) -> bool:
         """Convenience: full local attestation between two enclaves."""
-        if {reporter.enclave_id, verifier.enclave_id} - self._resident:
+        if {id(reporter), id(verifier)} - self._resident:
             return False
         report, mac = self.create_local_report(reporter, user_data)
         return self.verify_local_report(verifier, report, mac)

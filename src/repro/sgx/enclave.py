@@ -19,7 +19,6 @@ which is the same position a real attacker with root is in.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Callable, Dict, Optional
 
 from repro.crypto.hashes import sha256
@@ -84,8 +83,6 @@ class EnclaveImage:
 class Enclave:
     """A built enclave instance on some platform."""
 
-    _ids = itertools.count(1)
-
     def __init__(
         self,
         image: EnclaveImage,
@@ -93,7 +90,10 @@ class Enclave:
         mode: EnclaveMode = EnclaveMode.HARDWARE,
         heap_bytes: int = 8 * 1024 * 1024,
     ) -> None:
-        self.enclave_id = f"enclave-{next(self._ids)}"
+        # per-EPC (i.e. per-platform) sequence, NOT a process-global
+        # counter: the id seeds the enclave's simulated entropy source,
+        # so it must be identical across repeated runs in one process
+        self.enclave_id = epc.next_enclave_id()
         self.image = image
         self.mode = mode
         self.epc = epc

@@ -34,6 +34,7 @@ class EnclavePageCache:
     def __init__(self, size_bytes: int = EPC_SIZE_BYTES) -> None:
         self.size_bytes = size_bytes
         self._allocations: Dict[str, int] = {}
+        self._enclave_seq = 0
         registry = Registry.current()
         self._tm_allocated = registry.counter("sgx.epc.pages_allocated", private=True)
         self._tm_freed = registry.counter("sgx.epc.pages_freed", private=True)
@@ -42,6 +43,16 @@ class EnclavePageCache:
         registry.counter("sgx.epc.page_faults")
 
     # ------------------------------------------------------------------
+    def next_enclave_id(self) -> str:
+        """Deterministic per-EPC enclave naming.
+
+        The id seeds the enclave's simulated entropy source, so it is a
+        per-platform sequence rather than a process-global counter —
+        repeated runs in one interpreter must mint identical ids.
+        """
+        self._enclave_seq += 1
+        return f"enclave-{self._enclave_seq}"
+
     @property
     def allocated_bytes(self) -> int:
         return sum(self._allocations.values())

@@ -203,6 +203,23 @@ class FifoStore:
             self._getters.append(event)
         return event
 
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a parked ``get()`` waiter that lost a race.
+
+        A consumer that races ``get()`` against a timeout must withdraw
+        the losing getter, otherwise the abandoned event silently
+        swallows the next item put into the store.  Returns True when
+        the waiter was still parked (and is now removed); False when it
+        had already been granted an item or was never parked.
+        """
+        if event.triggered:
+            return False
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     def try_get(self) -> Any:
         """Non-blocking get; returns None when empty."""
         if not self._items:

@@ -216,6 +216,18 @@ def _collect_globals() -> Dict[str, int]:
     return merged
 
 
+def collector_names() -> frozenset:
+    """Names currently provided by registered global collectors.
+
+    Collector-backed counters (crypto cache statistics, ...) report
+    deltas against process-global state, so replaying an identical
+    scenario twice in one interpreter yields different values (warm
+    caches).  Trace-digest code uses this set to exclude them from
+    byte-identity comparisons.
+    """
+    return frozenset(_collect_globals())
+
+
 # ----------------------------------------------------------------------
 # the registry tree
 # ----------------------------------------------------------------------

@@ -43,14 +43,22 @@ class Reassembler:
         self._groups: "OrderedDict[Tuple[int, int], List[Optional[bytes]]]" = OrderedDict()
         self.completed = 0
         self.dropped_groups = 0
+        self.duplicate_fragments = 0
 
     def add(self, session_id: int, frag_id: int, index: int, count: int, body: bytes) -> Optional[bytes]:
-        """Add one fragment; returns the full payload when complete."""
+        """Add one fragment; returns the full payload when complete.
+
+        Metadata is validated before any fast path: a single-fragment
+        group must carry ``index == 0``, and a duplicate ``(frag_id,
+        index)`` is dropped (first body wins) and counted in
+        :attr:`duplicate_fragments` rather than silently overwriting the
+        stored piece.
+        """
+        if count < 1 or index < 0 or index >= count:
+            raise FragmentError("invalid fragment index/count")
         if count == 1:
             self.completed += 1
             return body
-        if count < 1 or index >= count:
-            raise FragmentError("invalid fragment index/count")
         key = (session_id, frag_id)
         group = self._groups.get(key)
         if group is None:
@@ -61,6 +69,9 @@ class Reassembler:
                 self.dropped_groups += 1
         if len(group) != count:
             raise FragmentError("fragment count mismatch within group")
+        if group[index] is not None:
+            self.duplicate_fragments += 1
+            return None
         group[index] = body
         if all(piece is not None for piece in group):
             del self._groups[key]

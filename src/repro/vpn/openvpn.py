@@ -169,6 +169,21 @@ class OpenVpnServer:
         self.current_config_version = 1
         self.grace_deadline: Optional[float] = None
         self.grace_period_s = 0.0
+        #: per-announcement grace deadlines: announced version -> absolute
+        #: deadline.  A client stuck below version v is bound by the
+        #: *earliest* deadline among announcements newer than its version,
+        #: so a later rollout can never re-admit a client whose earlier
+        #: grace already expired.
+        self._grace_deadlines: Dict[int, float] = {}
+        #: tripwire for chaos experiments: data packets admitted from a
+        #: client whose applicable grace deadline had already passed
+        #: (must stay zero; see run_chaos_rollout)
+        self.stale_admitted_after_grace = 0
+        #: fault-injection state: a "restarted" server loses its session
+        #: tables and ignores traffic while down
+        self.down = False
+        self.restarts = 0
+        self.packets_dropped_down = 0
         #: oversubscription input for the OpenVPN+Click hand-off penalty:
         #: runnable daemon processes beyond the effective core count
         self.oversubscription = 0.0
@@ -204,11 +219,29 @@ class OpenVpnServer:
         """Admission control; EndBox adds attestation/version gating."""
         return True
 
+    def grace_deadline_for(self, client_version: int) -> Optional[float]:
+        """Effective grace deadline for a client stuck on ``client_version``.
+
+        The client is bound by every announcement newer than its version,
+        so the *minimum* of those deadlines applies; ``None`` means the
+        client is current (or no grace was ever announced) and is always
+        admitted.
+        """
+        applicable = [
+            deadline
+            for version, deadline in self._grace_deadlines.items()
+            if version > client_version
+        ]
+        if not applicable:
+            return None
+        return min(applicable)
+
     def data_policy(self, session: VpnSession) -> bool:
         """Per-packet policy: enforce the configuration grace period."""
         if session.client_version >= self.current_config_version:
             return True
-        if self.grace_deadline is None or self.sim.now < self.grace_deadline:
+        deadline = self.grace_deadline_for(session.client_version)
+        if deadline is None or self.sim.now < deadline:
             return True
         return False
 
@@ -226,7 +259,13 @@ class OpenVpnServer:
         return accepted, packet, cost
 
     def announce_config(self, version: int, grace_period_s: float) -> None:
-        """Management entry point for the administrator (Fig 5, step 2)."""
+        """Management entry point for the administrator (Fig 5, step 2).
+
+        Each announcement starts its *own* grace clock; it never extends
+        the clock of a previous rollout.  ``grace_deadline`` keeps the
+        latest announcement's deadline for observability, but admission
+        decisions use :meth:`grace_deadline_for`.
+        """
         if version <= self.current_config_version:
             raise VpnError(
                 f"config versions must increase (current {self.current_config_version}, got {version})"
@@ -234,6 +273,34 @@ class OpenVpnServer:
         self.current_config_version = version
         self.grace_period_s = grace_period_s
         self.grace_deadline = self.sim.now + grace_period_s
+        self._grace_deadlines[version] = self.grace_deadline
+
+    # ------------------------------------------------------------------
+    # fault injection: crash-restart with session-table loss
+    # ------------------------------------------------------------------
+    def begin_outage(self) -> None:
+        """Crash the server process: sessions are lost, traffic ignored.
+
+        Models a VPN-concentrator restart (repro.faults ServerRestart):
+        per-session workers are killed and both session tables cleared —
+        clients recover through dead-peer detection.  Configuration
+        state (version, grace deadlines) is management-plane state and
+        survives, as it would in a config store.
+        """
+        if self.down:
+            return
+        self.down = True
+        for session in list(self.sessions_by_peer.values()):
+            session.worker.interrupt("server restart")
+        self.sessions_by_peer.clear()
+        self.sessions_by_tunnel_ip.clear()
+
+    def end_outage(self) -> None:
+        """Bring the restarted server back up (empty session tables)."""
+        if not self.down:
+            return
+        self.down = False
+        self.restarts += 1
 
     # ------------------------------------------------------------------
     # dispatch loops (cheap demux; CPU work happens in session workers)
@@ -241,6 +308,9 @@ class OpenVpnServer:
     def _rx_dispatch(self):
         while True:
             payload, src, src_port, _ = yield self.sock.recv()
+            if self.down:
+                self.packets_dropped_down += 1
+                continue
             try:
                 packet = VpnPacket.parse(payload)
             except ProtocolError:
@@ -257,6 +327,9 @@ class OpenVpnServer:
     def _tx_dispatch(self):
         while True:
             inner = yield self.tun.read()
+            if self.down:
+                self.packets_dropped_down += 1
+                continue
             session = self.sessions_by_tunnel_ip.get(inner.dst)
             if session is None or not session.established:
                 continue
@@ -265,6 +338,8 @@ class OpenVpnServer:
     def _ping_loop(self):
         while True:
             yield self.sim.timeout(self.ping_interval)
+            if self.down:
+                continue
             for session in list(self.sessions_by_peer.values()):
                 if session.established:
                     self._send_ping(session)
@@ -363,6 +438,12 @@ class OpenVpnServer:
             self.packets_rejected += 1
             yield from self._charge(self.model.vpn_server_fixed)
             return
+        deadline = self.grace_deadline_for(session.client_version)
+        if deadline is not None and self.sim.now >= deadline:
+            # tripwire: a (possibly overridden) data_policy admitted a
+            # stale client past its grace deadline — chaos experiments
+            # assert this stays zero
+            self.stale_admitted_after_grace += 1
         accepted, inner, middlebox_cost = self.session_packet_hook(session, inner, inbound=True)
         yield from self._charge(
             server_completion_cost(self.model, len(inner_bytes)) + middlebox_cost
@@ -515,6 +596,16 @@ class OpenVpnClient:
         self.inner_bytes_received = 0
         self.packets_rejected = 0
         self.pings_received = 0
+        #: monotone data-channel generation: bumped each time a key
+        #: exchange installs fresh channels; queued work items tagged
+        #: with an older epoch are dropped deliberately instead of being
+        #: fed to the new replay window/keys
+        self.channel_epoch = 0
+        self.packets_dropped_stale = 0
+        #: fault-injection state: a "crashed" client stops reading its
+        #: sockets/TUN and skips keepalive/DPD until resumed
+        self.suspended = False
+        self.crashes = 0
         self.on_server_announcement: Optional[Callable[[PingMessage], None]] = None
         self._started = False
         # dead-peer detection (OpenVPN's keepalive/ping-restart behaviour)
@@ -547,6 +638,8 @@ class OpenVpnClient:
     def _rx_dispatch(self):
         while True:
             payload, _src, _port, _ = yield self.sock.recv()
+            if self.suspended:
+                continue
             try:
                 packet = VpnPacket.parse(payload)
             except ProtocolError:
@@ -555,19 +648,37 @@ class OpenVpnClient:
             if packet.opcode in (OP_CONTROL_REPLY, OP_REJECT, OP_SESSION_CONFIG):
                 self._control_inbox.put(packet)
             elif packet.opcode in (OP_DATA, OP_PING):
-                self._work_inbox.put(("rx", packet))
+                self._work_inbox.put(("rx", packet, self.channel_epoch))
 
     def _await_control(self, opcodes, timeout: float):
-        """Poll the control queue (robust against stale waiters)."""
+        """Event-driven wait for a control packet, raced against a timeout.
+
+        Blocks on the control :class:`FifoStore` instead of polling it,
+        so a long outage costs two events per wait rather than one every
+        5 ms (which used to flood the event queue and distort
+        event-count telemetry).  A getter that loses the race is
+        withdrawn via :meth:`FifoStore.cancel_get` so it cannot swallow
+        a later control packet.
+        """
         deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
+        while True:
             packet = self._control_inbox.try_get()
-            if packet is not None:
+            while packet is not None:
                 if packet.opcode in opcodes:
                     return packet
-                continue  # discard stale control messages
-            yield self.sim.timeout(0.005)
-        return None
+                packet = self._control_inbox.try_get()  # discard stale
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return None
+            get_event = self._control_inbox.get()
+            yield self.sim.any_of([get_event, self.sim.timeout(remaining)])
+            if not get_event.triggered:
+                self._control_inbox.cancel_get(get_event)
+                return None
+            packet = get_event.value
+            if packet.opcode in opcodes:
+                return packet
+            # stale control message: discard and keep waiting
 
     # ------------------------------------------------------------------
     # connection establishment
@@ -611,6 +722,10 @@ class OpenVpnClient:
         self.replay = ReplayWindow()
         self.reassembler = Reassembler()
         self._next_packet_id = 1
+        # any data packet still queued for the worker belongs to the
+        # previous keys/window; bump the epoch so it is dropped (and
+        # counted) instead of polluting the fresh replay window
+        self.channel_epoch += 1
         # the key-confirmation ping doubles as the client Finished message
         self._send_ping()
         config = yield from self._await_control((OP_SESSION_CONFIG,), timeout=2.0)
@@ -654,6 +769,8 @@ class OpenVpnClient:
         """Re-handshake when the server has been silent too long."""
         while True:
             yield self.sim.timeout(self.ping_interval)
+            if self.suspended:
+                continue
             silent_for = self.sim.now - self.last_server_rx
             if silent_for < self.dpd_timeout or self._reconnecting:
                 continue
@@ -663,7 +780,8 @@ class OpenVpnClient:
                 settings = yield from self._do_key_exchange(
                     b"reconnect-%d" % self.reconnects
                 )
-            except VpnError:
+            except VpnError as exc:
+                self.on_reconnect_failed(exc)
                 continue  # retry at the next DPD tick
             finally:
                 self._reconnecting = False
@@ -680,8 +798,59 @@ class OpenVpnClient:
     def on_reconnected(self, settings: dict) -> None:
         """Hook: called after a successful DPD-triggered re-handshake."""
 
+    def on_reconnect_failed(self, exc: VpnError) -> None:
+        """Hook: a DPD re-handshake attempt failed (will retry later).
+
+        EndBox uses this to recover from post-grace lockout: a rejected
+        client fetches the latest configuration out-of-band and retries
+        with a current version number.
+        """
+
     def on_connected(self, settings: dict) -> None:
         """Hook: subclasses install extra routes / state."""
+
+    # ------------------------------------------------------------------
+    # fault injection: crash / restart of the client process
+    # ------------------------------------------------------------------
+    def suspend(self) -> None:
+        """Crash the client process: stop reading sockets, TUN and DPD.
+
+        Used by repro.faults ClientCrash.  The VPN socket is closed —
+        a dead process releases its port, so the server's keepalives to
+        the old session fall on the floor instead of counting as
+        liveness after restart.  Already-queued work items drain (they
+        model packets in kernel buffers); no new I/O is accepted until
+        :meth:`resume`.
+        """
+        if self.suspended:
+            return
+        self.suspended = True
+        self.crashes += 1
+        if self.sock is not None:
+            self.sock.close()
+
+    def resume(self, rehandshake: bool = True) -> None:
+        """Restart after :meth:`suspend`.
+
+        The restarted process binds a fresh socket (new source port, as
+        a real restart would) and, with ``rehandshake`` (the default),
+        the last-activity clock is rewound so dead-peer detection
+        re-handshakes at its next tick — a restarted OpenVPN process
+        always renegotiates.
+        """
+        if not self.suspended:
+            return
+        self.suspended = False
+        # bind explicitly to the address facing the server: the stack's
+        # preferred source is still the tunnel address at this point, and
+        # a VPN socket bound there would have its handshake replies
+        # routed into the (dead) tunnel by the server
+        self.sock = self.host.stack.udp_socket(
+            address=self.host.stack.source_address_for(self.server_addr)
+        )
+        self.sim.process(self._rx_dispatch(), name=f"{self.host.name}.vpn-rx")
+        if rehandshake:
+            self.last_server_rx = self.sim.now - 2.0 * self.dpd_timeout
 
     # ------------------------------------------------------------------
     # pipeline hooks (EndBox overrides these)
@@ -713,14 +882,25 @@ class OpenVpnClient:
     def _tun_dispatch(self):
         while True:
             inner = yield self.tun.read()
-            self._work_inbox.put(("tx", inner))
+            if self.suspended:
+                continue
+            self._work_inbox.put(("tx", inner, self.channel_epoch))
 
     def _worker(self):
         while True:
-            kind, item = yield self._work_inbox.get()
+            kind, item, epoch = yield self._work_inbox.get()
             if kind == "tx":
+                # egress packets are not bound to a key generation: they
+                # are protected with whatever channel is current
                 yield from self._handle_egress(item)
-            elif isinstance(item, VpnPacket) and item.opcode == OP_DATA:
+                continue
+            if epoch != self.channel_epoch:
+                # queued under superseded keys: dropping deliberately
+                # keeps the old high packet ids out of the new replay
+                # window (which they would otherwise wedge)
+                self.packets_dropped_stale += 1
+                continue
+            if isinstance(item, VpnPacket) and item.opcode == OP_DATA:
                 yield from self._handle_data(item)
             else:
                 self._handle_ping(item)
@@ -805,4 +985,6 @@ class OpenVpnClient:
     def _ping_loop(self):
         while True:
             yield self.sim.timeout(self.ping_interval)
+            if self.suspended:
+                continue
             self._send_ping()

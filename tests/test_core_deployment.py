@@ -207,6 +207,33 @@ def test_stale_client_blocked_after_grace_and_reconnect_gated():
     assert not world.server.admit_session(session.certificate, client_version=1)
 
 
+def test_back_to_back_rollouts_do_not_revive_expired_clients():
+    """Regression: announcing v3 while v2's grace ran used to overwrite
+    the single ``grace_deadline``, so a client already expired under v2
+    regained admission for the whole of v3's grace window."""
+    world = build_deployment(
+        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5
+    )
+    world.connect_all()
+    client = world.clients[0]
+    world.server.announce_config(2, grace_period_s=0.5)
+    world.sim.run(until=world.sim.now + 1.0)  # v2 grace expires; client is stuck on v1
+    world.server.announce_config(3, grace_period_s=10.0)
+    sink = UdpSink(world.internal, 5450)
+    source = UdpTrafficSource(client.host, world.internal.address, 5450, rate_bps=1e6, packet_bytes=300)
+    source.start()
+    world.sim.run(until=world.sim.now + 1.0)
+    source.stop()
+    # the v1 client stays locked out: v2's expired deadline still binds it
+    assert sink.packets == 0
+    assert world.server.stale_admitted_after_grace == 0
+    session = next(iter(world.server.sessions_by_peer.values()))
+    assert not world.server.admit_session(session.certificate, client_version=1)
+    # a client that had reached v2 would still be inside v3's grace
+    deadline_v2 = world.server.grace_deadline_for(2)
+    assert deadline_v2 is not None and world.sim.now < deadline_v2
+
+
 def test_vanilla_client_cannot_join_endbox_deployment():
     world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
     from repro.crypto.drbg import HmacDrbg

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import build_deployment
+from repro.faults import FaultInjector, FaultPlan, LinkLoss
 from repro.netsim import StarTopology
 from repro.netsim.host import class_a_host, class_b_host
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
@@ -10,13 +11,17 @@ from repro.sim import Simulator
 
 
 def lossy_pair(loss_rate):
+    """Two hosts on a star, with a declared (open-ended) loss fault on
+    a's uplink — the same plumbing chaos plans use (repro.faults)."""
     sim = Simulator()
     topo = StarTopology(sim)
     a = class_a_host(sim, "a")
     b = class_b_host(sim, "b")
     topo.attach(a)
     topo.attach(b)
-    a.stack.interfaces[0].link.set_loss_rate(loss_rate)
+    FaultInjector(sim, topo=topo).arm(
+        FaultPlan("lossy-uplink", [LinkLoss(at=0.0, link="a", rate=loss_rate)])
+    )
     return sim, a, b
 
 
@@ -69,7 +74,9 @@ def test_vpn_tolerates_lossy_client_uplink():
     )
     world.connect_all()
     client = world.clients[0]
-    client.host.stack.interfaces[0].link.set_loss_rate(0.1)
+    FaultInjector.from_deployment(world).arm(
+        FaultPlan("lossy-uplink", [LinkLoss(at=0.0, link="client-0", rate=0.1)])
+    )
     sink = UdpSink(world.internal, 6100)
     UdpTrafficSource(client.host, world.internal.address, 6100, rate_bps=4e6, packet_bytes=500).start()
     world.sim.run(until=world.sim.now + 0.5)

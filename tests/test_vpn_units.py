@@ -203,6 +203,27 @@ def test_reassembly_bounded_table_evicts_oldest():
     assert reasm.add(1, 1, 1, 2, b"z") is None  # group 1 restarts, incomplete
 
 
+def test_reassembly_single_fragment_requires_index_zero():
+    """Regression: the count==1 fast path used to skip index validation."""
+    from repro.vpn.fragment import FragmentError
+
+    reasm = Reassembler()
+    with pytest.raises(FragmentError):
+        reasm.add(1, 7, 1, 1, b"x")
+    with pytest.raises(FragmentError):
+        reasm.add(1, 7, -1, 2, b"x")  # would have written group[-1]
+    assert reasm.add(1, 7, 0, 1, b"x") == b"x"
+
+
+def test_reassembly_duplicate_fragment_dropped_first_wins():
+    """Regression: a duplicate used to silently overwrite the stored body."""
+    reasm = Reassembler()
+    assert reasm.add(1, 9, 0, 2, b"first") is None
+    assert reasm.add(1, 9, 0, 2, b"SPOOF") is None
+    assert reasm.duplicate_fragments == 1
+    assert reasm.add(1, 9, 1, 2, b"tail") == b"firsttail"
+
+
 @settings(max_examples=25, deadline=None)
 @given(st.binary(min_size=1, max_size=40000), st.integers(min_value=1, max_value=9000))
 def test_fragment_roundtrip_property(data, max_payload):
