@@ -36,4 +36,4 @@ security:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache src/repro.egg-info .benchmarks BENCH_micro.json
+	rm -rf .pytest_cache .lint_cache src/repro.egg-info .benchmarks BENCH_micro.json

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
+from repro.analysis.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.analysis.checkers import all_rules, default_checkers
 from repro.analysis.engine import Analyzer
 from repro.analysis.reporting import render_json, render_sarif, render_text
@@ -64,7 +65,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rules",
         default=None,
         metavar="R1,R2",
-        help="only report these comma-separated rule ids",
+        help="only report these comma-separated rule ids; a prefix selects "
+        "the whole family (e.g. --rules SS, --rules TF5)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental lint cache (always run everything)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental cache location (default: ./{DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--list-rules",
@@ -109,14 +122,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline = _resolve_baseline(args)
     except (BaselineError, OSError) as exc:
         parser.error(str(exc))
-    report = Analyzer(checkers=default_checkers(), baseline=baseline).run(paths)
+    cache = None if args.no_cache else LintCache(args.cache_dir)
+    report = Analyzer(
+        checkers=default_checkers(), baseline=baseline, cache=cache
+    ).run(paths)
 
     if args.rules is not None:
-        wanted = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
-        unknown = wanted - set(all_rules())
+        tokens = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
+        known = set(all_rules())
+        unknown = {
+            token
+            for token in tokens
+            if token not in known and not any(rule.startswith(token) for rule in known)
+        }
         if unknown:
-            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))} (see --list-rules)")
-        report.findings = [finding for finding in report.findings if finding.rule in wanted]
+            parser.error(
+                f"unknown rule(s)/famil(ies): {', '.join(sorted(unknown))} (see --list-rules)"
+            )
+        report.findings = [
+            finding
+            for finding in report.findings
+            if any(finding.rule == token or finding.rule.startswith(token) for token in tokens)
+        ]
 
     if args.write_baseline is not None:
         Baseline.from_findings(

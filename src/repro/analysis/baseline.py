@@ -24,7 +24,9 @@ least one of ``rule``/``path`` is required.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional
@@ -95,17 +97,30 @@ class Baseline:
         if not isinstance(document, dict) or "entries" not in document:
             raise BaselineError(f"{path}: expected an object with an 'entries' list")
         entries = []
+        seen = set()
         for raw in document["entries"]:
             if not isinstance(raw, dict):
                 raise BaselineError(f"{path}: entry is not an object: {raw!r}")
-            entries.append(
-                BaselineEntry(
-                    rule=raw.get("rule"),
-                    path=raw.get("path"),
-                    contains=raw.get("contains"),
-                    note=raw.get("note", ""),
-                )
+            entry = BaselineEntry(
+                rule=raw.get("rule"),
+                path=raw.get("path"),
+                contains=raw.get("contains"),
+                note=raw.get("note", ""),
             )
+            # duplicates would shadow each other's hit tracking (the
+            # second copy always reads as unused), so keep the first
+            # occurrence only and tell the user to clean the file up
+            key = (entry.rule, entry.path, entry.contains)
+            if key in seen:
+                print(
+                    f"endbox-lint: warning: {path}: duplicate baseline entry "
+                    f"(rule={entry.rule!r}, path={entry.path!r}, "
+                    f"contains={entry.contains!r}) ignored",
+                    file=sys.stderr,
+                )
+                continue
+            seen.add(key)
+            entries.append(entry)
         return cls(entries)
 
     def save(self, path: Path) -> None:
@@ -128,6 +143,13 @@ class Baseline:
     def unused_entries(self) -> List[BaselineEntry]:
         """Entries that matched nothing this run (candidates for removal)."""
         return [entry for entry in self.entries if entry.hits == 0]
+
+    def digest(self) -> str:
+        """Content hash of the entry set (participates in lint-cache keys)."""
+        canonical = json.dumps(
+            [entry.to_dict() for entry in self.entries], sort_keys=True
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     @classmethod
     def from_findings(cls, findings: Iterable[Finding], note: str = "baselined") -> "Baseline":

@@ -1,0 +1,130 @@
+"""Incremental lint cache: skip re-analysis of unchanged source.
+
+Six passes over ~150 modules cost seconds per ``make lint``; almost all
+of that work is identical run to run.  The cache keys everything on
+*content*, never on timestamps:
+
+* **Report cache** — the whole :class:`~repro.analysis.engine.AnalysisReport`
+  stored under a *tree key*: SHA-256 over the engine version, the
+  checker roster (name + scope), the baseline digest and every scanned
+  file's ``(path, content hash)`` pair.  An unchanged tree is a single
+  JSON read; any edit anywhere misses.
+* **Module memo** — per-file findings of ``scope == "module"`` checkers
+  (boundary, determinism, interface, clickgraph), keyed on the file's
+  own content hash.  After a partial edit only the changed files are
+  re-checked by the per-module passes; whole-program passes (taint,
+  ownership) re-run whenever the tree key misses, because any edit can
+  change reachability.
+
+Invalidation is deliberately blunt:
+:data:`~repro.analysis.engine.ENGINE_VERSION` participates in every
+key, so a version bump (required whenever checker behaviour changes)
+orphans all previous entries.  Every cache operation is best-effort —
+an unreadable, corrupt or unwritable cache silently degrades to a full
+run, never to a wrong report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import ENGINE_VERSION, AnalysisReport, Checker
+from repro.analysis.findings import Finding
+
+#: default cache location, relative to the invocation directory
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+#: bump to invalidate cache entries on *format* changes (as opposed to
+#: ENGINE_VERSION, which tracks checker behaviour)
+_FORMAT_VERSION = "1"
+
+
+def file_digest(data: bytes) -> str:
+    """Content hash of one source file (hex SHA-256)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """Content-addressed store for lint results under one directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _roster(checkers: Sequence[Checker]) -> str:
+        return ",".join(f"{checker.name}:{checker.scope}" for checker in checkers)
+
+    def tree_key(
+        self,
+        files: Sequence[Tuple[str, str]],
+        checkers: Sequence[Checker],
+        baseline_digest: str,
+    ) -> str:
+        """Key of the whole-run report for this exact tree state."""
+        hasher = hashlib.sha256()
+        hasher.update(f"{_FORMAT_VERSION}|{ENGINE_VERSION}|".encode())
+        hasher.update(self._roster(checkers).encode())
+        hasher.update(f"|{baseline_digest}|".encode())
+        for path, digest in sorted(files):
+            hasher.update(f"{path}={digest};".encode())
+        return hasher.hexdigest()
+
+    @staticmethod
+    def module_key(path: str, digest: str) -> str:
+        """Key of one module's per-file findings memo."""
+        raw = f"{_FORMAT_VERSION}|{ENGINE_VERSION}|{path}|{digest}"
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # report cache
+    # ------------------------------------------------------------------
+    def load_report(self, key: str) -> Optional[AnalysisReport]:
+        """The cached report for ``key``, or None on miss/corruption."""
+        try:
+            data = json.loads((self.root / f"report-{key}.json").read_text())
+            report = AnalysisReport.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        report.from_cache = True
+        return report
+
+    def store_report(self, key: str, report: AnalysisReport) -> None:
+        """Persist ``report`` under ``key`` (best-effort)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.root / f"report-{key}.json"
+            path.write_text(json.dumps(report.to_dict()))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # per-module memo (module-scope checkers only)
+    # ------------------------------------------------------------------
+    def load_module_memo(self, key: str) -> Dict[str, List[Finding]]:
+        """checker name -> raw findings for one (path, digest) pair."""
+        try:
+            data = json.loads((self.root / f"module-{key}.json").read_text())
+            return {
+                checker: [Finding.from_dict(raw) for raw in entries]
+                for checker, entries in data.items()
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return {}
+
+    def store_module_memo(self, key: str, memo: Dict[str, List[Finding]]) -> None:
+        """Persist one module's per-checker findings (best-effort)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = {
+                checker: [finding.to_dict() for finding in entries]
+                for checker, entries in memo.items()
+            }
+            (self.root / f"module-{key}.json").write_text(json.dumps(payload))
+        except OSError:
+            pass

@@ -5,6 +5,7 @@
 * ``interface`` — gateway/Iago interface audit (IF2xx)
 * ``clickgraph`` — Click configuration graph validation (CG3xx)
 * ``taint`` — interprocedural secret-flow analysis (TF5xx)
+* ``ownership`` — whole-program shard-safety / state ownership (SS6xx)
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from repro.analysis.checkers.boundary import BoundaryChecker
 from repro.analysis.checkers.clickgraph import ClickGraphChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.interface import InterfaceChecker
+from repro.analysis.checkers.ownership import OwnershipChecker
 from repro.analysis.checkers.taint import TaintChecker
 from repro.analysis.engine import Checker
 
@@ -23,6 +25,7 @@ __all__ = [
     "ClickGraphChecker",
     "DeterminismChecker",
     "InterfaceChecker",
+    "OwnershipChecker",
     "TaintChecker",
     "all_rules",
     "default_checkers",
@@ -37,6 +40,7 @@ def default_checkers() -> List[Checker]:
         InterfaceChecker(),
         ClickGraphChecker(),
         TaintChecker(),
+        OwnershipChecker(),
     ]
 
 

@@ -33,6 +33,7 @@ from repro.analysis.secrets import TF_RULES, declassify_rules, registry_declassi
 class TaintChecker(Checker):
     name = "taint"
     rules = dict(TF_RULES)
+    scope = "program"
 
     def __init__(self) -> None:
         self._modules: List[ModuleInfo] = []

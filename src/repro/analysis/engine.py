@@ -10,6 +10,7 @@ committed :class:`~repro.analysis.baseline.Baseline`.
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -19,9 +20,36 @@ from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.trustmap import TrustDomain, trust_domain
 
+#: analysis-engine version, baked into every lint-cache key.  Bump it
+#: whenever a checker's behaviour changes (new rule, fixed false
+#: positive/negative, changed message text): every cached result is
+#: then invalidated at once, which is cheaper and safer than trying to
+#: fingerprint checker source.
+ENGINE_VERSION = "6.0"
+
 #: inline suppression: ``# endbox-lint: ignore`` (all rules) or
 #: ``# endbox-lint: ignore[EB102,DET401]`` on the finding's line.
 _SUPPRESS_RE = re.compile(r"#\s*endbox-lint:\s*ignore(?:\[(?P<rules>[\w\s,]+)\])?")
+
+#: directory names never descended into by :meth:`Analyzer.collect_files`
+#: (bytecode, VCS metadata, build products, virtualenvs, caches).
+PRUNED_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hg",
+        ".svn",
+        ".tox",
+        ".venv",
+        "venv",
+        "node_modules",
+        "build",
+        "dist",
+        ".lint_cache",
+        ".pytest_cache",
+        ".mypy_cache",
+    }
+)
 
 
 @dataclass
@@ -127,6 +155,10 @@ class Checker:
 
     name = "base"
     rules: Dict[str, str] = {}
+    #: ``"module"`` passes look at one file at a time (their findings can
+    #: be cached per file hash); ``"program"`` passes need the whole
+    #: module set and re-run whenever anything changed.
+    scope = "module"
 
     def begin(self, modules: Sequence["ModuleInfo"]) -> None:
         """See the whole module set before per-module checks (for
@@ -172,6 +204,8 @@ class AnalysisReport:
     modules_scanned: int
     checkers: List[str]
     unused_baseline_entries: List[dict] = field(default_factory=list)
+    #: True when this report was served from the lint cache
+    from_cache: bool = False
 
     @property
     def clean(self) -> bool:
@@ -193,6 +227,19 @@ class AnalysisReport:
             "unused_baseline_entries": self.unused_baseline_entries,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisReport":
+        """Rebuild a report from :meth:`to_dict` output (cache loads)."""
+        summary = data["summary"]
+        return cls(
+            findings=[Finding.from_dict(raw) for raw in data["findings"]],
+            baselined=[Finding.from_dict(raw) for raw in data["baselined"]],
+            inline_suppressed=summary["inline_suppressed"],
+            modules_scanned=summary["modules_scanned"],
+            checkers=list(summary["checkers"]),
+            unused_baseline_entries=list(data.get("unused_baseline_entries", [])),
+        )
+
 
 def _inline_suppressed(module: ModuleInfo, finding: Finding) -> bool:
     match = _SUPPRESS_RE.search(module.line_text(finding.line))
@@ -211,6 +258,7 @@ class Analyzer:
         self,
         checkers: Optional[Sequence[Checker]] = None,
         baseline: Optional[Baseline] = None,
+        cache=None,
     ) -> None:
         if checkers is None:
             from repro.analysis.checkers import default_checkers
@@ -218,30 +266,48 @@ class Analyzer:
             checkers = default_checkers()
         self.checkers = list(checkers)
         self.baseline = baseline or Baseline()
+        #: optional :class:`repro.analysis.cache.LintCache`; None = always
+        #: run everything from scratch
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # module collection
     # ------------------------------------------------------------------
     @staticmethod
     def collect_files(paths: Sequence) -> List[Path]:
-        """Expand files/directories into a sorted list of .py files."""
+        """Expand files/directories into a sorted list of .py files.
+
+        Directories are walked explicitly so whole non-source trees
+        (``__pycache__``, VCS metadata, build products, caches — see
+        :data:`PRUNED_DIRS` — plus ``*.egg-info``) are pruned at the
+        directory level instead of filtered file by file.
+        """
+
+        def walk(directory: Path) -> Iterable[Path]:
+            children = sorted(directory.iterdir(), key=lambda p: p.name)
+            for child in children:
+                name = child.name
+                if child.is_dir():
+                    if name in PRUNED_DIRS or name.endswith(".egg-info"):
+                        continue
+                    yield from walk(child)
+                elif child.suffix == ".py":
+                    yield child
+
         files: List[Path] = []
         for raw in paths:
             path = Path(raw)
             if path.is_dir():
-                files.extend(
-                    candidate
-                    for candidate in sorted(path.rglob("*.py"))
-                    if "__pycache__" not in candidate.parts
-                )
+                files.extend(walk(path))
             elif path.suffix == ".py":
                 files.append(path)
         return files
 
     @staticmethod
-    def load_module(path: Path) -> ModuleInfo:
+    def load_module(path: Path, source: Optional[str] = None) -> ModuleInfo:
         """Read, parse and trust-classify one source file."""
-        source = path.read_text()
+        if source is None:
+            source = path.read_text()
         module = module_name_for(path)
         return ModuleInfo(
             path=display_path(path),
@@ -255,12 +321,34 @@ class Analyzer:
     # running
     # ------------------------------------------------------------------
     def run(self, paths: Sequence) -> AnalysisReport:
-        """Scan paths, run every checker, and apply suppressions."""
+        """Scan paths, run every checker, and apply suppressions.
+
+        With a cache attached, an unchanged tree (same engine version,
+        checker roster, baseline and file contents) returns the stored
+        report without re-running any pass, and partially changed trees
+        reuse per-file results of module-scope checkers.
+        """
+        blobs: List[tuple] = []
+        digests: Dict[str, str] = {}
+        for path in self.collect_files(paths):
+            data = path.read_bytes()
+            blobs.append((path, data))
+            digests[display_path(path)] = hashlib.sha256(data).hexdigest()
+
+        tree_key = None
+        if self.cache is not None:
+            tree_key = self.cache.tree_key(
+                list(digests.items()), self.checkers, self.baseline.digest()
+            )
+            cached = self.cache.load_report(tree_key)
+            if cached is not None:
+                return cached
+
         modules: List[ModuleInfo] = []
         findings: List[Finding] = []
-        for path in self.collect_files(paths):
+        for path, data in blobs:
             try:
-                modules.append(self.load_module(path))
+                modules.append(self.load_module(path, source=data.decode()))
             except SyntaxError as exc:
                 findings.append(
                     Finding(
@@ -271,18 +359,53 @@ class Analyzer:
                         message=f"file does not parse: {exc.msg}",
                     )
                 )
-        findings.extend(self.run_modules(modules))
-        return self._report(modules, findings)
+        findings.extend(self.run_modules(modules, digests=digests))
+        report = self._report(modules, findings)
+        if self.cache is not None and tree_key is not None:
+            self.cache.store_report(tree_key, report)
+        return report
 
-    def run_modules(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
-        """Run checkers over pre-built modules (inline suppressions applied)."""
+    def run_modules(
+        self,
+        modules: Sequence[ModuleInfo],
+        digests: Optional[Dict[str, str]] = None,
+    ) -> List[Finding]:
+        """Run checkers over pre-built modules (inline suppressions applied).
+
+        ``digests`` (path -> content hash) enables the per-module memo:
+        findings of ``scope == "module"`` checkers are reused for files
+        whose hash is unchanged.  Program-scope checkers always run.
+        """
         findings: List[Finding] = []
         by_path = {module.path: module for module in modules}
+        use_memo = self.cache is not None and digests is not None
+        memos: Dict[str, Dict[str, List[Finding]]] = {}
+        dirty: set = set()
         for checker in self.checkers:
             checker.begin(modules)
             for module in modules:
-                findings.extend(checker.check_module(module))
+                if (
+                    use_memo
+                    and checker.scope == "module"
+                    and module.path in digests
+                ):
+                    key = self.cache.module_key(module.path, digests[module.path])
+                    memo = memos.get(key)
+                    if memo is None:
+                        memo = self.cache.load_module_memo(key)
+                        memos[key] = memo
+                    cached = memo.get(checker.name)
+                    if cached is None:
+                        cached = list(checker.check_module(module))
+                        memo[checker.name] = cached
+                        dirty.add(key)
+                    findings.extend(cached)
+                else:
+                    findings.extend(checker.check_module(module))
             findings.extend(checker.finish())
+        if use_memo:
+            for key in dirty:
+                self.cache.store_module_memo(key, memos[key])
         # inline suppressions need the module the finding points into
         kept = []
         self._inline_count = 0
@@ -321,9 +444,10 @@ def analyze_paths(
     paths: Sequence,
     checkers: Optional[Sequence[Checker]] = None,
     baseline: Optional[Baseline] = None,
+    cache=None,
 ) -> AnalysisReport:
     """Run (by default) every checker over the given files/directories."""
-    return Analyzer(checkers=checkers, baseline=baseline).run(paths)
+    return Analyzer(checkers=checkers, baseline=baseline, cache=cache).run(paths)
 
 
 def analyze_source(

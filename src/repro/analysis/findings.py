@@ -61,6 +61,20 @@ class Finding:
             data["extra"] = self.extra
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache loads)."""
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data.get("col", 0),
+            message=data["message"],
+            symbol=data.get("symbol"),
+            extra=dict(data.get("extra", {})),
+        )
+
     def sort_key(self):
         """Stable report order: by path, then line, then rule."""
         return (self.path, self.line, self.col, self.rule)

@@ -87,6 +87,13 @@ SECRET_ATTRIBUTES: Dict[str, str] = {
     "_midstate": "keystream key schedule (SHA-256 midstate over the key)",
     "_hmac_key": "data-channel HMAC key",
     "_mac_key": "record-layer MAC key",
+    # per-registry crypto cache block (repro.crypto.cachestate): the
+    # PR-2 performance caches, now attribute-scoped instead of global
+    "_crypto_caches": "per-registry crypto cache block",
+    "aes_schedules": "cached AES key schedules",
+    "keystreams": "cached keystream bytes",
+    "_keystreams": "cached keystream bytes",
+    "hmac_pads": "cached HMAC pad states",
     # private scalars / generic key slots (AES, DRBG, x25519 holders)
     "_key": "private key material",
     "_value": "DRBG internal state",
@@ -110,12 +117,11 @@ SECRET_ATTRIBUTES: Dict[str, str] = {
     "_platform_secret": "platform sealing fuse key",
 }
 
-#: module-level globals holding secrets (the PR-2 performance caches).
-SECRET_GLOBALS: Dict[str, str] = {
-    "repro.crypto.aes._KEY_SCHEDULE_CACHE": "cached AES key schedules",
-    "repro.crypto.stream._KEYSTREAM_CACHE": "cached keystream bytes",
-    "repro.crypto.hmac._PAD_STATE_CACHE": "cached HMAC pad states",
-}
+#: module-level globals holding secrets.  The PR-2 performance caches
+#: that used to live here moved to per-registry attributes (see
+#: ``repro.crypto.cachestate`` and SECRET_ATTRIBUTES above) as part of
+#: the SS6xx shard-safety cleanup; the table stays for future globals.
+SECRET_GLOBALS: Dict[str, str] = {}
 
 #: parameter names that carry secrets *in trusted-domain code* (the
 #: enclave side receives keys/plaintext under these names).

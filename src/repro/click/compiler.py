@@ -66,20 +66,17 @@ from repro.telemetry.registry import Counter
 if TYPE_CHECKING:  # pragma: no cover
     from repro.click.router import Router
 
-#: cost() implementations known to be constant zero; their ledger adds
-#: are elided (identity on the accumulated float)
-_ZERO_COST_FNS = None
-
-
 def _zero_cost_fns():
-    global _ZERO_COST_FNS
-    if _ZERO_COST_FNS is None:
-        from repro.click.elements.device import Discard, FromDevice, ToDevice
+    """cost() implementations known to be constant zero; their ledger
+    adds are elided (identity on the accumulated float).
 
-        _ZERO_COST_FNS = frozenset(
-            {FromDevice.cost, ToDevice.cost, Discard.cost}
-        )
-    return _ZERO_COST_FNS
+    Built per call rather than memoized in a module global: compile-time
+    only (never on the packet path), and the lazy-init global was an
+    SS605 non-reentrant pattern under the shard-safety rules.
+    """
+    from repro.click.elements.device import Discard, FromDevice, ToDevice
+
+    return frozenset({FromDevice.cost, ToDevice.cost, Discard.cost})
 
 
 def _classify_cost(element: Element) -> str:

@@ -14,7 +14,6 @@ charge simulated CPU time.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Tuple
 
 from repro.click.config import ParsedConfig, parse_config
@@ -25,22 +24,7 @@ from repro.sgx.gateway import CostLedger
 from repro.telemetry.registry import Registry
 
 
-class _RouterMeta(type):
-    """Metaclass hosting the deprecated process-wide counter shim."""
-
-    @property
-    def packets_processed_total(cls) -> int:
-        """Deprecated: read ``click.router.packets`` from the telemetry process root."""
-        warnings.warn(
-            "Router.packets_processed_total is deprecated; read "
-            "repro.telemetry.Registry.process_root().value('click.router.packets')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Registry.process_root().value("click.router.packets")
-
-
-class Router(metaclass=_RouterMeta):
+class Router:
     """An instantiated Click configuration.
 
     On construction the wired graph is compiled into a fused dispatch

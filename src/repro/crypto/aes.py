@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.crypto.cachestate import current_caches
 from repro.telemetry.registry import register_collector
 
 _SBOX = [
@@ -64,9 +65,10 @@ def _mul(a: int, b: int) -> int:
 
 #: round keys are a pure function of the key, so sessions re-deriving a
 #: cipher for the same key (one per record in the worst case) reuse the
-#: expansion instead of redoing 40 rounds of the schedule.  Bounded so a
-#: long-running simulation with many sessions cannot grow it unboundedly.
-_KEY_SCHEDULE_CACHE: dict = {}
+#: expansion instead of redoing 40 rounds of the schedule.  The cache
+#: lives per telemetry registry (per Simulator) — see
+#: :mod:`repro.crypto.cachestate` — and is bounded so a long-running
+#: simulation with many sessions cannot grow it unboundedly.
 _KEY_SCHEDULE_CACHE_MAX = 1024
 
 # schedule-cache stats, exported via a repro.telemetry global collector
@@ -94,14 +96,17 @@ class AES128:
         if len(key) != 16:
             raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
         key = bytes(key)
+        # counter increments below are OWNERSHIP-waived (monotone,
+        # collector-bridged); the schedule cache itself is per-registry
         global _CACHE_HITS, _CACHE_MISSES
-        cached = _KEY_SCHEDULE_CACHE.get(key)
+        cache = current_caches().aes_schedules
+        cached = cache.get(key)
         if cached is None:
             _CACHE_MISSES += 1
             cached = self._expand_key(key)
-            if len(_KEY_SCHEDULE_CACHE) >= _KEY_SCHEDULE_CACHE_MAX:
-                _KEY_SCHEDULE_CACHE.clear()
-            _KEY_SCHEDULE_CACHE[key] = cached
+            if len(cache) >= _KEY_SCHEDULE_CACHE_MAX:
+                cache.clear()
+            cache[key] = cached
         else:
             _CACHE_HITS += 1
         self._round_keys = cached

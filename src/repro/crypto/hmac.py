@@ -12,12 +12,13 @@ from __future__ import annotations
 import hashlib
 import hmac as _hmac
 
+from repro.crypto.cachestate import current_caches
 from repro.telemetry.registry import register_collector
 
 #: key -> (inner, outer) sha256 objects holding the keyed pad states.
-#: Bounded: a long-lived simulation with many sessions must not grow it
-#: forever.
-_PAD_STATE_CACHE: dict = {}
+#: The cache lives per telemetry registry (per Simulator) — see
+#: :mod:`repro.crypto.cachestate` — and is bounded: a long-lived
+#: simulation with many sessions must not grow it forever.
 _PAD_STATE_CACHE_MAX = 4096
 
 # pad-state-cache stats, exported via a repro.telemetry global collector
@@ -43,8 +44,11 @@ def _keyed_state(key: bytes):
     per-message cost is then exactly two C-level hash copies, with no
     Python-object bookkeeping on top.
     """
+    # counter increments are OWNERSHIP-waived (monotone, bridged per
+    # registry by the collector delta); the pad cache is per-registry
     global _CACHE_HITS, _CACHE_MISSES
-    pair = _PAD_STATE_CACHE.get(key)
+    cache = current_caches().hmac_pads
+    pair = cache.get(key)
     if pair is None:
         _CACHE_MISSES += 1
         block_key = hashlib.sha256(key).digest() if len(key) > 64 else key
@@ -53,9 +57,9 @@ def _keyed_state(key: bytes):
             hashlib.sha256(bytes(b ^ 0x36 for b in block_key)),
             hashlib.sha256(bytes(b ^ 0x5C for b in block_key)),
         )
-        if len(_PAD_STATE_CACHE) >= _PAD_STATE_CACHE_MAX:
-            _PAD_STATE_CACHE.clear()
-        _PAD_STATE_CACHE[bytes(key)] = pair
+        if len(cache) >= _PAD_STATE_CACHE_MAX:
+            cache.clear()
+        cache[bytes(key)] = pair
     else:
         _CACHE_HITS += 1
     return pair

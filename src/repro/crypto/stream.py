@@ -14,16 +14,18 @@ from __future__ import annotations
 import hashlib
 import struct
 
+from repro.crypto.cachestate import current_caches
 from repro.telemetry.registry import register_collector
 
 #: (key, nonce) -> keystream bytes.  The VPN computes every keystream
 #: twice — once to protect at the sender, once to unprotect the same
 #: record at the receiver — with the same key and nonce; caching the
 #: blocks turns the second derivation into a dict hit.  Pure function of
-#: (key, nonce), so cached bytes are identical to recomputation.
-#: Bounded: cleared wholesale when full (records are short-lived; a
-#: generational clear is cheaper than LRU bookkeeping).
-_KEYSTREAM_CACHE: dict = {}
+#: (key, nonce), so cached bytes are identical to recomputation.  The
+#: cache lives per telemetry registry (per Simulator) — see
+#: :mod:`repro.crypto.cachestate` — and is bounded: cleared wholesale
+#: when full (records are short-lived; a generational clear is cheaper
+#: than LRU bookkeeping).
 _KEYSTREAM_CACHE_MAX = 2048
 
 # cache effectiveness stats: module ints (one add on the hot path), fed
@@ -53,9 +55,10 @@ class KeystreamCipher:
     must be used per message (the VPN layer uses its packet id).
     """
 
-    #: struct-packed counters, shared across instances (pure function of
-    #: the index); grown on demand and indexed per block
-    _COUNTERS = [struct.pack(">I", counter) for counter in range(64)]
+    #: struct-packed counters, shared across instances: an immutable
+    #: tuple (pure function of the index), so sharing is race-free;
+    #: oversized messages build a local extension instead of growing it
+    _COUNTERS = tuple(struct.pack(">I", counter) for counter in range(64))
 
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
@@ -65,19 +68,26 @@ class KeystreamCipher:
         # is key-only work, hashed once here and ``copy()``-ed per block
         # instead of re-absorbing the key for every keystream block.
         self._midstate = hashlib.sha256(key)
+        # the keystream cache of the registry current at construction:
+        # channels are built under their owning simulator, so lookups on
+        # the hot path skip the current-registry resolution entirely
+        self._keystreams = current_caches().keystreams
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        # counter increments are OWNERSHIP-waived (monotone, bridged per
+        # registry by the collector delta); the cache is per-registry
         global _CACHE_HITS, _CACHE_MISSES, _CACHE_CLEARS
+        cache = self._keystreams
         cache_key = (self._key, nonce)
-        cached = _KEYSTREAM_CACHE.get(cache_key)
+        cached = cache.get(cache_key)
         if cached is not None and len(cached) >= length:
             _CACHE_HITS += 1
             return cached[:length]
         _CACHE_MISSES += 1
         counters = self._COUNTERS
         n_blocks = (length + 31) // 32
-        while n_blocks > len(counters):
-            counters.append(struct.pack(">I", len(counters)))
+        if n_blocks > len(counters):
+            counters = tuple(struct.pack(">I", index) for index in range(n_blocks))
         # per message: absorb the nonce once on top of the key midstate
         base = self._midstate.copy()
         base.update(nonce)
@@ -89,10 +99,10 @@ class KeystreamCipher:
             block.update(counters[counter])
             append(block.digest())
         stream = b"".join(blocks)[:length]
-        if len(_KEYSTREAM_CACHE) >= _KEYSTREAM_CACHE_MAX:
-            _KEYSTREAM_CACHE.clear()
+        if len(cache) >= _KEYSTREAM_CACHE_MAX:
+            cache.clear()
             _CACHE_CLEARS += 1
-        _KEYSTREAM_CACHE[cache_key] = stream
+        cache[cache_key] = stream
         return stream
 
     def process(self, nonce: bytes, data: bytes) -> bytes:

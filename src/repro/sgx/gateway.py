@@ -62,8 +62,7 @@ class EnclaveGateway:
     public :attr:`ecalls` / :attr:`ocalls` / :attr:`exitless` counters
     are *private instruments* — their ``.value`` reflects this gateway
     alone — that mirror into the owning registry's shared
-    ``sgx.gateway.*`` totals.  The pre-telemetry attribute names
-    (``ecall_count`` etc.) remain as deprecated read-only shims.
+    ``sgx.gateway.*`` totals.
     """
 
     def __init__(
@@ -217,34 +216,3 @@ class EnclaveGateway:
     def transitions(self) -> int:
         """Total boundary crossings (ecalls + ocalls)."""
         return self.ecalls.value + self.ocalls.value
-
-    # -- deprecated pre-telemetry attribute shims ----------------------
-    @property
-    def ecall_count(self) -> int:
-        """Deprecated alias for ``self.ecalls.value``."""
-        warnings.warn(
-            "EnclaveGateway.ecall_count is deprecated; read gateway.ecalls.value",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.ecalls.value
-
-    @property
-    def ocall_count(self) -> int:
-        """Deprecated alias for ``self.ocalls.value``."""
-        warnings.warn(
-            "EnclaveGateway.ocall_count is deprecated; read gateway.ocalls.value",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.ocalls.value
-
-    @property
-    def exitless_serviced(self) -> int:
-        """Deprecated alias for ``self.exitless.value``."""
-        warnings.warn(
-            "EnclaveGateway.exitless_serviced is deprecated; read gateway.exitless.value",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.exitless.value

@@ -16,10 +16,9 @@ sequence number, never by object identity.
 from __future__ import annotations
 
 import heapq
-import warnings
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
-from repro.telemetry.registry import Registry, _set_current
+from repro.telemetry.registry import Registry, _set_current, _swap_current
 
 
 class SimulationError(RuntimeError):
@@ -243,28 +242,18 @@ class AnyOf(Event):
             child.add_callback(cb)
 
 
-class _SimulatorMeta(type):
-    """Metaclass hosting the deprecated process-wide counter shim."""
-
-    @property
-    def events_executed_total(cls) -> int:
-        """Deprecated: read ``sim.engine.events`` from the telemetry process root."""
-        warnings.warn(
-            "Simulator.events_executed_total is deprecated; read "
-            "repro.telemetry.Registry.process_root().value('sim.engine.events')",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Registry.process_root().value("sim.engine.events")
-
-
-class Simulator(metaclass=_SimulatorMeta):
+class Simulator:
     """Deterministic discrete-event simulator.
 
     Each instance owns a fresh :class:`~repro.telemetry.registry.Registry`
     (``self.telemetry``) parented to the current aggregation root, so its
     counters start at zero and die with it; components built after the
     simulator attach to it via ``Registry.current()``.
+
+    :meth:`run` and :meth:`step` install ``self.telemetry`` as the
+    current registry for the duration of the slice and restore the
+    previous one afterwards, so two simulators interleaved in one
+    process never attach state to each other's registry.
 
     Attributes
     ----------
@@ -367,17 +356,21 @@ class Simulator(metaclass=_SimulatorMeta):
         self.now = when
         self.events_executed += 1
         self._tm_events.inc()
-        if kind == 0:
-            payload()
-        elif kind == 1:
-            event, value = payload
-            if not event.triggered:
-                event.succeed(value)
-        elif kind == 2:
-            payload._resume(None, None)
-        else:
-            callback, event = payload
-            callback(event)
+        previous = _swap_current(self.telemetry)
+        try:
+            if kind == 0:
+                payload()
+            elif kind == 1:
+                event, value = payload
+                if not event.triggered:
+                    event.succeed(value)
+            elif kind == 2:
+                payload._resume(None, None)
+            else:
+                callback, event = payload
+                callback(event)
+        finally:
+            _set_current(previous)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
@@ -394,6 +387,7 @@ class Simulator(metaclass=_SimulatorMeta):
         heap = self._heap
         pop = heapq.heappop
         executed = 0
+        previous = _swap_current(self.telemetry)
         try:
             while heap:
                 if until is not None and heap[0][0] > until:
@@ -418,6 +412,7 @@ class Simulator(metaclass=_SimulatorMeta):
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            _set_current(previous)
             self.events_executed += executed
             self._tm_events.inc(executed)
             self._running = False

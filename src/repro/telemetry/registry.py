@@ -428,6 +428,20 @@ def _set_current(registry: Optional[Registry]) -> None:
     _current = registry
 
 
+def _swap_current(registry: Optional[Registry]) -> Optional[Registry]:
+    """Install *registry* as current and return the previous value.
+
+    The save/restore primitive behind ``Simulator.run()``/``step()``:
+    each execution slice runs with its own registry current and puts the
+    previous one back on exit, so interleaved simulators never observe
+    each other's scope.
+    """
+    global _current
+    previous = _current
+    _current = registry
+    return previous
+
+
 @contextmanager
 def session(
     recording: bool = False,

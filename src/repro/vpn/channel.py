@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import enum
 import struct
-import warnings
 
 from repro.crypto.hmac import hmac_sha256, hmac_verify
 from repro.crypto.stream import KeystreamCipher
@@ -44,9 +43,7 @@ class DataChannel:
     public :attr:`protected` / :attr:`rejected` /
     :attr:`bytes_protected` / :attr:`bytes_unprotected` counters are
     private instruments (per-channel ``.value``) mirroring into the
-    owning registry's shared ``vpn.channel.*`` totals.  The
-    pre-telemetry ``packets_protected`` / ``packets_rejected`` names
-    remain as deprecated read-only shims.
+    owning registry's shared ``vpn.channel.*`` totals.
     """
 
     def __init__(self, cipher_key: bytes, hmac_key: bytes, mode: ProtectionMode = ProtectionMode.ENCRYPT_AND_MAC) -> None:
@@ -61,27 +58,6 @@ class DataChannel:
         self.rejected = registry.counter("vpn.channel.packets_rejected", private=True)
         self.bytes_protected = registry.counter("vpn.channel.bytes_protected", private=True)
         self.bytes_unprotected = registry.counter("vpn.channel.bytes_unprotected", private=True)
-
-    # -- deprecated pre-telemetry attribute shims ----------------------
-    @property
-    def packets_protected(self) -> int:
-        """Deprecated alias for ``self.protected.value``."""
-        warnings.warn(
-            "DataChannel.packets_protected is deprecated; read channel.protected.value",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.protected.value
-
-    @property
-    def packets_rejected(self) -> int:
-        """Deprecated alias for ``self.rejected.value``."""
-        warnings.warn(
-            "DataChannel.packets_rejected is deprecated; read channel.rejected.value",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.rejected.value
 
     # ------------------------------------------------------------------
     def _nonce(self, session_id: int, packet_id: int) -> bytes:

@@ -1,0 +1,18 @@
+# module: repro.netsim.fixture_instance
+# expect: none
+"""Known-clean: all mutated state is owned by the instance."""
+
+
+class PacketCounter:
+    def __init__(self):
+        self.count = 0
+        self.seen = []
+
+    def note_packet(self, packet):
+        self.count += 1
+        self.seen.append(packet)
+
+
+def install(sim):
+    counter = PacketCounter()
+    sim.schedule(0.0, counter.note_packet)

@@ -1,0 +1,19 @@
+# module: repro.netsim.fixture_locals
+# expect: none
+"""Known-clean: locals shadow module state; constants are read-only."""
+
+_MTU = 1500
+_PREFIXES = ("10.", "192.168.")
+
+
+def fragment(payload):
+    chunks = []
+    for start in range(0, len(payload), _MTU):
+        chunks.append(payload[start : start + _MTU])
+    sizes = {}
+    sizes["total"] = len(chunks)
+    return chunks, sizes
+
+
+def install(sim):
+    sim.schedule(0.0, lambda: fragment(b"x" * 4000))

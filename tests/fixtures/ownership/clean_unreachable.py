@@ -1,0 +1,14 @@
+# module: repro.netsim.fixture_unreachable
+# expect: none
+"""Known-clean: the global mutation is not on any sim-driven path."""
+
+_SETUP_LOG = []
+
+
+def record_setup(step):
+    """Called during single-threaded bootstrap only, never by a sim."""
+    _SETUP_LOG.append(step)
+
+
+def install(sim):
+    sim.schedule(0.0, lambda: None)

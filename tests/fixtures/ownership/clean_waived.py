@@ -1,0 +1,13 @@
+# module: repro.netsim.fixture_waived
+# expect: none
+"""Known-clean: the shared mutation carries an inline shared() waiver."""
+
+_SHARED_TALLY = []
+
+
+def tally(packet):
+    _SHARED_TALLY.append(packet)  # endbox-lint: shared(SS601)
+
+
+def install(sim):
+    sim.schedule(0.0, tally)

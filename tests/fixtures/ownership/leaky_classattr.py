@@ -1,0 +1,16 @@
+# module: repro.netsim.fixture_classattr
+# expect: SS604
+"""Seeded shard-safety leak: instance method mutates a class attribute."""
+
+
+class FlowTracker:
+    #: shared by every instance — and therefore by every shard
+    observed = []
+
+    def note_packet(self, packet):
+        self.observed.append(packet)
+
+
+def install(sim):
+    tracker = FlowTracker()
+    sim.schedule(0.0, tracker.note_packet)

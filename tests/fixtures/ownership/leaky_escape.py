@@ -1,0 +1,14 @@
+# module: repro.netsim.fixture_escape
+# expect: SS602
+"""Seeded shard-safety leak: a Simulator escapes into global storage."""
+
+_ACTIVE_WORLDS = {}
+
+
+def announce(sim, name):
+    """Stores the simulator itself process-wide: cross-shard leakage."""
+    _ACTIVE_WORLDS[name] = sim
+
+
+def install(sim):
+    sim.schedule(0.0, lambda: announce(sim, "primary"))

@@ -1,0 +1,17 @@
+# module: repro.netsim.fixture_lazyinit
+# expect: SS605
+"""Seeded shard-safety leak: non-reentrant lazy init of shared state."""
+
+_PORT_TABLE = None
+
+
+def port_table():
+    """Two shards can both observe None and build the table twice."""
+    global _PORT_TABLE
+    if _PORT_TABLE is None:
+        _PORT_TABLE = {"http": 80, "https": 443}
+    return _PORT_TABLE
+
+
+def install(sim):
+    sim.schedule(0.0, lambda: port_table())

@@ -54,9 +54,16 @@ def test_shipped_tree_is_clean():
     )
 
 
-def test_all_five_passes_run():
+def test_all_six_passes_run():
     report = analyze_paths([SRC])
-    assert report.checkers == ["boundary", "determinism", "interface", "clickgraph", "taint"]
+    assert report.checkers == [
+        "boundary",
+        "determinism",
+        "interface",
+        "clickgraph",
+        "taint",
+        "ownership",
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -501,6 +508,7 @@ def test_cli_json_format_is_machine_readable():
         "interface",
         "clickgraph",
         "taint",
+        "ownership",
     }
     assert payload["findings"] == []
 

@@ -10,7 +10,6 @@ a single packet byte.
 """
 
 import json
-import warnings
 
 import pytest
 
@@ -308,27 +307,6 @@ def test_fig10_smoke_identical_with_telemetry():
     off, on = run(False), run(True)
     assert on.series == off.series
     assert on.metadata["cpu_percent"] == off.metadata["cpu_percent"]
-
-
-# ----------------------------------------------------------------------
-# deprecation shims
-# ----------------------------------------------------------------------
-def test_deprecated_channel_counters_warn_and_match():
-    with fork_isolated():
-        tx = DataChannel(b"c" * 16, b"h" * 16, ProtectionMode.ENCRYPT_AND_MAC)
-        tx.protect(VpnPacket(OP_DATA, 7, 1), b"hello")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert tx.packets_protected == tx.protected.value == 1
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-
-
-def test_deprecated_simulator_class_counter_warns():
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        total = Simulator.events_executed_total
-    assert total == Registry.process_root().value("sim.engine.events")
-    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 # ----------------------------------------------------------------------
