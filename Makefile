@@ -13,17 +13,26 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
 # Pre-PR gate: secret-flow lint, the full test suite, a figure-10
-# byte-identity smoke, and the telemetry differential smoke (recording
-# on vs off must not change a single packet byte).
+# byte-identity smoke, the telemetry differential smoke (recording
+# on vs off must not change a single packet byte), and the
+# shard-determinism smoke (2-shard merged digest == serial digest).
 check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_experiments_smoke.py -q -k "fig10 or deterministic"
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_telemetry.py -q -k "identical_with_telemetry"
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py -q -k "deterministic or byte_identical"
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_sim_parallel.py -q -k "digest_matches_serial"
 
+# BENCH_micro.json is the committed regression baseline; refuse to
+# clobber it unless the caller explicitly opts in with FORCE=1.
 bench:
+ifndef FORCE
+	@test ! -f BENCH_micro.json || { \
+	  echo "BENCH_micro.json is the committed baseline; rerun with 'make bench FORCE=1' to overwrite it."; \
+	  exit 1; }
+endif
 	PYTHONPATH=src $(PYTHON) -m repro.perf --json BENCH_micro.json
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --all -o experiment_report.md
@@ -36,4 +45,4 @@ security:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache .lint_cache src/repro.egg-info .benchmarks BENCH_micro.json
+	rm -rf .pytest_cache .lint_cache src/repro.egg-info .benchmarks

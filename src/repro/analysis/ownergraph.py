@@ -163,8 +163,9 @@ OWNERSHIP: List[SharedStateWaiver] = [
         contains="_process_root",
         note=(
             "the process root is created once during single-threaded "
-            "bootstrap (first Simulator construction); a sharded runner "
-            "must pre-create it before forking workers"
+            "bootstrap (first Simulator construction); the sharded runner "
+            "honors this by pre-creating it before forking workers "
+            "(repro.sim.parallel._run_fork)"
         ),
     ),
     SharedStateWaiver(
@@ -175,8 +176,9 @@ OWNERSHIP: List[SharedStateWaiver] = [
             "the current-registry pointer is the scope machinery itself, "
             "not simulation state: Simulator.run()/step() save and restore "
             "it around every slice, so interleaved sims never observe each "
-            "other's registry; a sharded runner must make it worker-local "
-            "(e.g. a thread-local or per-process copy)"
+            "other's registry; the sharded runner keeps it worker-local — "
+            "fork workers inherit a copy-on-write copy and inline mode "
+            "relies on the run()/step() save-restore (repro.sim.parallel)"
         ),
     ),
 ]

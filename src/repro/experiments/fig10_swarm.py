@@ -1,0 +1,253 @@
+"""Fig 10 at swarm scale: the sharded, flow-level scalability scenario.
+
+:mod:`repro.experiments.fig10_scalability` reproduces the paper's figure
+at packet granularity — every client a process, every packet five-plus
+heap events — which is exact but caps out at the serial engine's ~450k
+events/s.  This module builds the *same deployment shape* (N identical
+constant-rate clients against one gateway) for the sharded runner:
+
+* clients are modelled flow-level by :class:`~repro.netsim.swarm.ClientSwarmSource`
+  (one source per client shard, exact per-packet timestamps/accounting);
+* the gateway shard runs a :class:`~repro.netsim.swarm.SwarmGateway`;
+* everything is wired through cross-shard channels, so the identical
+  builder runs under :func:`repro.sim.parallel.run_serial` (the serial
+  reference whose digest sharded runs must reproduce) and
+  :func:`repro.sim.parallel.run_sharded`.
+
+The module also carries the packet-granularity reference arm used by the
+``bench_sim_shards`` perf stage: the same offered load driven per-packet
+through one serial :class:`Simulator`, with the *same* per-packet stage
+accounting, so "modeled stage-events/s" is computed by one formula for
+both arms (see :func:`modeled_stage_events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentResult
+from repro.netsim.swarm import (
+    BYTES_NAME,
+    DELIVERED_BYTES_NAME,
+    DELIVERED_NAME,
+    GATEWAY_STEPS_NAME,
+    PACKETS_NAME,
+    STEPS_NAME,
+    WINDOW_BYTES_NAME,
+    ClientSwarmSource,
+    SwarmGateway,
+)
+from repro.sim import Simulator
+from repro.sim.parallel import (
+    ShardContext,
+    ShardPlan,
+    ShardRunResult,
+    run_serial,
+    run_sharded,
+)
+from repro.telemetry.registry import Registry
+
+#: paper defaults (fig. 10): 1500-byte packets, 200 Mbps per client
+PACKET_BYTES = 1500
+PER_CLIENT_BPS = 200e6
+
+
+@dataclass(frozen=True)
+class SwarmParams:
+    """One fig10-swarm configuration (shared by every runner arm)."""
+
+    n_clients: int = 1000
+    per_client_bps: float = PER_CLIENT_BPS
+    packet_bytes: int = PACKET_BYTES
+    client_steps: int = 3  # encrypt, encapsulate, send
+    gateway_steps: int = 2  # decrypt+check, forward
+    lookahead_s: float = 200e-6
+    horizon_s: float = 0.02
+    warmup_s: float = 0.004
+
+    @property
+    def latency_s(self) -> float:
+        """Client→gateway one-way latency; ``2×lookahead`` clears every
+        window bound (see the lookahead-safety note in ``netsim.swarm``)."""
+        return 2 * self.lookahead_s
+
+    @property
+    def measure_s(self) -> float:
+        return self.horizon_s - self.warmup_s
+
+
+def _channel(shard: int) -> str:
+    return f"swarm.shard{shard}"
+
+
+def make_swarm_builder(params: SwarmParams):
+    """Builder closure for the sharded runner (also used serially)."""
+
+    def build(ctx: ShardContext) -> None:
+        plan = ctx.plan
+        client_shards = sorted(set(plan.client_shards))
+        if ctx.is_gateway:
+            SwarmGateway(
+                ctx.sim,
+                ctx.fabric,
+                channels=[_channel(shard) for shard in client_shards],
+                warmup_s=params.warmup_s,
+                pipeline_steps=params.gateway_steps,
+            )
+        local_clients = ctx.clients
+        if local_clients:
+            egress = ctx.fabric.open_egress(_channel(ctx.shard_index), 0, batched=True)
+            ClientSwarmSource(
+                ctx.sim,
+                egress,
+                n_clients=len(local_clients),
+                per_client_bps=params.per_client_bps,
+                packet_bytes=params.packet_bytes,
+                pipeline_steps=params.client_steps,
+                latency_s=params.latency_s,
+                tick_s=plan.lookahead_s,
+            ).start()
+
+    return build
+
+
+def run_swarm(
+    params: SwarmParams, n_shards: int, mode: str = "auto"
+) -> ShardRunResult:
+    """Run the swarm scenario sharded ``n_shards`` ways.
+
+    ``mode="serial"`` runs the identical builder in one plain
+    :class:`Simulator` via :func:`run_serial` — the digest reference.
+    """
+    plan = ShardPlan.partition(params.n_clients, n_shards, params.lookahead_s)
+    builder = make_swarm_builder(params)
+    if mode == "serial":
+        return run_serial(builder, plan, params.horizon_s)
+    return run_sharded(builder, plan, params.horizon_s, mode=mode)
+
+
+def modeled_stage_events(counters: Dict[str, float]) -> int:
+    """Modeled per-packet stage events, identically for every arm.
+
+    Each packet costs its client pipeline stages, one link transfer, and
+    its gateway pipeline stages; under the packet-granularity engine
+    each of these is (at least) one heap event, which is what makes this
+    the apples-to-apples events/s numerator.
+    """
+    return int(
+        counters.get(STEPS_NAME, 0)
+        + counters.get(DELIVERED_NAME, 0)
+        + counters.get(GATEWAY_STEPS_NAME, 0)
+    )
+
+
+def swarm_throughput_bps(result: ShardRunResult, params: SwarmParams) -> float:
+    """Post-warmup aggregate goodput measured at the gateway."""
+    return result.counter(WINDOW_BYTES_NAME) * 8 / params.measure_s
+
+
+# ----------------------------------------------------------------------
+# packet-granularity reference arm
+# ----------------------------------------------------------------------
+@dataclass
+class PacketReferenceResult:
+    """Serial packet-granularity run of the same offered load."""
+
+    events_executed: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def modeled_events(self) -> int:
+        return modeled_stage_events(self.counters)
+
+
+def run_packet_reference(params: SwarmParams) -> PacketReferenceResult:
+    """Drive the same aggregate load per-packet through one serial sim.
+
+    Every client is its own process; every client pipeline stage, link
+    transfer and gateway delivery is a separate heap event — the
+    pre-shard execution model whose events/s ceiling the swarm path
+    exists to break.  Counter accounting matches the swarm arm exactly.
+    """
+    sim = Simulator()
+    registry = Registry.current()
+    tm_packets = registry.counter(PACKETS_NAME)
+    tm_bytes = registry.counter(BYTES_NAME)
+    tm_steps = registry.counter(STEPS_NAME)
+    tm_delivered = registry.counter(DELIVERED_NAME)
+    tm_delivered_bytes = registry.counter(DELIVERED_BYTES_NAME)
+    tm_window_bytes = registry.counter(WINDOW_BYTES_NAME)
+    tm_gateway_steps = registry.counter(GATEWAY_STEPS_NAME)
+
+    interval = params.packet_bytes * 8 / params.per_client_bps
+    stage_delay = 2e-6  # per-stage processing latency, client and gateway
+
+    def gateway_side():
+        for _ in range(params.gateway_steps):
+            yield sim.timeout(stage_delay)
+            tm_gateway_steps.inc()
+        tm_delivered.inc()
+        tm_delivered_bytes.inc(params.packet_bytes)
+        if sim.now >= params.warmup_s:
+            tm_window_bytes.inc(params.packet_bytes)
+
+    def client(index: int):
+        # stagger starts so the heap never sees all clients in lockstep
+        yield sim.timeout(interval * (index + 1) / params.n_clients)
+        while True:
+            tm_packets.inc()
+            tm_bytes.inc(params.packet_bytes)
+            for _ in range(params.client_steps):
+                yield sim.timeout(stage_delay)
+                tm_steps.inc()
+            sim.schedule(params.latency_s, lambda: sim.process(gateway_side()))
+            yield sim.timeout(interval)
+
+    for index in range(params.n_clients):
+        sim.process(client(index), name=f"client{index}")
+    sim.run(until=params.horizon_s)
+    snapshot = sim.telemetry.snapshot()
+    return PacketReferenceResult(
+        events_executed=sim.events_executed, counters=snapshot["counters"]
+    )
+
+
+# ----------------------------------------------------------------------
+# experiment entry point
+# ----------------------------------------------------------------------
+def run_fig10_swarm(
+    shard_counts=(1, 2, 4),
+    params: SwarmParams | None = None,
+    mode: str = "inline",
+) -> ExperimentResult:
+    """Fig10-class scalability with the sharded flow-level engine.
+
+    Reports aggregate goodput per shard count plus the determinism
+    evidence (merged digest vs the serial reference at each count).
+    """
+    params = params or SwarmParams(n_clients=240, horizon_s=0.01, warmup_s=0.002)
+    throughput: Dict[int, float] = {}
+    digests: Dict[int, str] = {}
+    digest_ok: Dict[int, bool] = {}
+    for n_shards in shard_counts:
+        sharded = run_swarm(params, n_shards, mode=mode)
+        serial = run_swarm(params, n_shards, mode="serial")
+        throughput[n_shards] = swarm_throughput_bps(sharded, params)
+        digests[n_shards] = sharded.trace_digest()
+        digest_ok[n_shards] = sharded.trace_digest() == serial.trace_digest()
+    offered = params.n_clients * params.per_client_bps
+    return ExperimentResult(
+        name="fig10_swarm",
+        title="Fig 10 (swarm): sharded flow-level client scaling",
+        x_label="shards",
+        unit="Gbps",
+        series={"EndBox swarm goodput": {n: bps / 1e9 for n, bps in throughput.items()}},
+        metadata={
+            "n_clients": params.n_clients,
+            "offered_gbps": offered / 1e9,
+            "digests": digests,
+            "digest_matches_serial": digest_ok,
+            "mode": mode,
+        },
+    )

@@ -1,0 +1,190 @@
+"""Flow-level client swarms: thousands of identical clients as one source.
+
+Fig. 10 of the paper scales identical VPN clients against one gateway.
+Simulating every client at packet granularity costs ``pipeline_steps+2``
+engine heap events *per packet* — that is the ~450k events/s serial
+ceiling.  A :class:`ClientSwarmSource` models ``n_clients`` identical
+clients as one flow-level generator: per lookahead tick it computes how
+many packets the aggregate rate owes, runs the per-packet client
+pipeline as a plain batched loop (every packet is still touched — the
+counters are exact, not extrapolated), and emits the packets onto a
+batched cross-shard channel with their exact per-packet timestamps
+``t(i) = start + (i+1)/aggregate_pps``.  The receiving
+:class:`SwarmGateway` applies the per-packet middlebox stages the same
+way.  One heap event per tick and per batch replaces five per packet.
+
+Determinism: emission timestamps are products (never accumulated sums),
+packets are attributed round-robin to virtual client ids, and all
+telemetry is counters — so a sharded run merges to the exact digest of
+the serial reference (see :mod:`repro.sim.parallel`).
+
+Lookahead safety: a packet due in the tick ending at ``now`` was emitted
+after ``now - tick_s``, so its delivery at ``t_emit + latency_s`` clears
+the next window bound whenever ``latency_s >= lookahead + tick_s``.
+Scenario code uses ``tick_s = lookahead`` and ``latency_s =
+2*lookahead`` (see :mod:`repro.experiments.fig10_swarm`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.sim import SimulationError, Simulator
+from repro.telemetry import names as _names
+from repro.telemetry.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.parallel import Frame, _Egress
+
+PACKETS_NAME = _names.register(
+    "netsim.swarm.packets", "counter", "packets", "packets emitted by swarm sources"
+)
+BYTES_NAME = _names.register(
+    "netsim.swarm.bytes", "counter", "bytes", "payload bytes emitted by swarm sources"
+)
+STEPS_NAME = _names.register(
+    "netsim.swarm.steps", "counter", "events", "client-side pipeline stages executed"
+)
+DELIVERED_NAME = _names.register(
+    "netsim.swarm.delivered", "counter", "packets", "packets absorbed by swarm gateways"
+)
+DELIVERED_BYTES_NAME = _names.register(
+    "netsim.swarm.delivered_bytes", "counter", "bytes", "payload bytes absorbed by swarm gateways"
+)
+WINDOW_BYTES_NAME = _names.register(
+    "netsim.swarm.window_bytes", "counter", "bytes", "post-warmup bytes absorbed (throughput window)"
+)
+GATEWAY_STEPS_NAME = _names.register(
+    "netsim.swarm.gateway_steps", "counter", "events", "gateway-side pipeline stages executed"
+)
+
+
+class ClientSwarmSource:
+    """``n_clients`` identical constant-rate clients as one generator.
+
+    Emits ``(client_id, packet_bytes)`` payloads onto a *batched*
+    cross-shard channel.  ``start()`` spawns the tick process; emission
+    continues until the shard runner stops running windows.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        egress: "_Egress",
+        n_clients: int,
+        per_client_bps: float,
+        packet_bytes: int,
+        pipeline_steps: int = 3,
+        latency_s: float = 40e-6,
+        tick_s: float = 20e-6,
+        start_s: float = 0.0,
+    ) -> None:
+        if n_clients < 1:
+            raise SimulationError(f"swarm needs at least one client, got {n_clients}")
+        if not egress.batched:
+            raise SimulationError("ClientSwarmSource requires a batched egress channel")
+        self.sim = sim
+        self.n_clients = n_clients
+        self.packet_bytes = packet_bytes
+        self.pipeline_steps = pipeline_steps
+        self.latency_s = latency_s
+        self.tick_s = tick_s
+        self.start_s = start_s
+        self.aggregate_pps = n_clients * per_client_bps / (packet_bytes * 8)
+        self._interval = 1.0 / self.aggregate_pps
+        self._egress = egress
+        self.emitted = 0
+        registry = Registry.current()
+        self._tm_packets = registry.counter(PACKETS_NAME)
+        self._tm_bytes = registry.counter(BYTES_NAME)
+        self._tm_steps = registry.counter(STEPS_NAME)
+
+    def start(self) -> None:
+        """Spawn the per-lookahead tick process that drives emission."""
+        self.sim.process(self._run(), name="swarm.source")
+
+    def _run(self):
+        sim = self.sim
+        emit = self._egress.emit
+        interval = self._interval
+        start = self.start_s
+        steps = self.pipeline_steps
+        nbytes = self.packet_bytes
+        latency = self.latency_s
+        n_clients = self.n_clients
+        while True:
+            yield sim.timeout(self.tick_s)
+            # packets the aggregate rate owes since the last tick (floor,
+            # with a fuzz term so t_emit == now counts as due)
+            due = int((sim.now - start) / interval + 1e-9) - self.emitted
+            if due <= 0:
+                continue
+            emitted = self.emitted
+            work = 0
+            for i in range(emitted, emitted + due):
+                # exact per-packet timestamp and virtual client identity
+                t_emit = start + (i + 1) * interval
+                client = i % n_clients
+                # the client-side pipeline, batched: each stage is real
+                # per-packet work (counted exactly), not an engine event
+                work += steps
+                emit(t_emit + latency, (client, nbytes))
+            self.emitted += due
+            self._tm_packets.inc(due)
+            self._tm_bytes.inc(due * nbytes)
+            self._tm_steps.inc(work)
+
+
+class SwarmGateway:
+    """Flow-level gateway sink: per-packet middlebox stages, batch-driven.
+
+    Binds one batched ingress per swarm channel; every injected batch is
+    walked packet-by-packet (delivery counters and the post-``warmup_s``
+    throughput window are exact per-packet accounting).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric,
+        channels: List[str],
+        warmup_s: float = 0.0,
+        pipeline_steps: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.warmup_s = warmup_s
+        self.pipeline_steps = pipeline_steps
+        self.delivered = 0
+        self.delivered_bytes = 0
+        self.window_bytes = 0
+        registry = Registry.current()
+        self._tm_delivered = registry.counter(DELIVERED_NAME)
+        self._tm_delivered_bytes = registry.counter(DELIVERED_BYTES_NAME)
+        self._tm_window_bytes = registry.counter(WINDOW_BYTES_NAME)
+        self._tm_steps = registry.counter(GATEWAY_STEPS_NAME)
+        for channel in channels:
+            fabric.bind_ingress(channel, self._on_batch, batched=True)
+
+    def _on_batch(self, frames: List["Frame"]) -> None:
+        warmup = self.warmup_s
+        steps = self.pipeline_steps
+        delivered = 0
+        total_bytes = 0
+        window_bytes = 0
+        work = 0
+        for deliver_at, _emit_index, payload in frames:
+            _client, nbytes = payload
+            # the gateway-side pipeline (decrypt/check/forward), batched
+            work += steps
+            delivered += 1
+            total_bytes += nbytes
+            if deliver_at >= warmup:
+                window_bytes += nbytes
+        self.delivered += delivered
+        self.delivered_bytes += total_bytes
+        self.window_bytes += window_bytes
+        self._tm_delivered.inc(delivered)
+        self._tm_delivered_bytes.inc(total_bytes)
+        if window_bytes:
+            self._tm_window_bytes.inc(window_bytes)
+        self._tm_steps.inc(work)

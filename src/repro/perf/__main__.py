@@ -24,7 +24,35 @@ def main() -> int:
         default=None,
         help="enable recording instruments and write the telemetry snapshot as JSON",
     )
+    parser.add_argument(
+        "--shards",
+        nargs="*",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run only the sharded-runner stage (optionally at these shard counts)",
+    )
     args = parser.parse_args()
+    if args.shards is not None:
+        from repro.perf.micro import bench_sim_shards
+
+        counts = tuple(args.shards) or (1, 2, 4, 8)
+        stage = bench_sim_shards(shard_counts=counts)
+        print(f"{'config':<22} {'modeled events/s':>18}")
+        print("-" * 42)
+        print(f"{'serial engine':<22} {stage.scalar_ops_per_s:>18,.0f}")
+        for count in counts:
+            rate = stage.detail[f"shards_{count}_modeled_events_per_s"]
+            match = "ok" if stage.detail[f"digest_match_{count}"] else "MISMATCH"
+            print(f"{f'{count} shard(s)':<22} {rate:>18,.0f}  digest {match}")
+        print(
+            f"speedup (headline): {stage.speedup:.2f}x   "
+            f"cpu_count={int(stage.detail['cpu_count'])}"
+        )
+        if args.json:
+            write_json({"stages": [stage.to_dict()]}, args.json)
+            print(f"wrote {args.json}")
+        return 0 if all(stage.detail[f"digest_match_{c}"] for c in counts) else 1
     doc = run_all(
         n=args.n,
         burst=args.burst,

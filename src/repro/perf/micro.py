@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -373,6 +374,78 @@ def bench_sim_engine(n_events: int = 200_000) -> StageResult:
     )
 
 
+def bench_sim_shards(
+    shard_counts=(1, 2, 4, 8),
+    n_clients: int = 600,
+    horizon_s: float = 0.01,
+) -> StageResult:
+    """Sharded flow-level swarm runner vs the packet-granularity engine.
+
+    Both arms simulate the *same* fig10-class deployment — ``n_clients``
+    identical clients offering 200 Mbps each at one gateway — and both
+    count the same per-packet work: client pipeline stages + link
+    transfer + gateway stages (:func:`modeled_stage_events`).  The
+    scalar arm executes each of those as a heap event in one serial
+    :class:`Simulator` (the ~450k events/s ceiling this stage exists to
+    measure the escape from); the batched arm is the sharded runner with
+    :class:`~repro.netsim.swarm.ClientSwarmSource` flow aggregation,
+    whose per-window batch loops do the identical per-packet accounting
+    without a heap entry per stage.  Fork workers additionally spread
+    windows across cores when the host has them; ``detail`` records
+    ``cpu_count`` so single-core results read honestly.
+
+    Determinism evidence rides along: the merged digest of the sharded
+    run is recomputed against :func:`repro.sim.parallel.run_serial` on
+    the same plan (``digest_match_*`` detail flags, 1.0 = byte-equal).
+    """
+    from repro.experiments.fig10_swarm import (
+        SwarmParams,
+        run_packet_reference,
+        run_swarm,
+    )
+
+    started = time.perf_counter()
+    params = SwarmParams(
+        n_clients=n_clients, horizon_s=horizon_s, warmup_s=horizon_s / 5
+    )
+    detail: Dict[str, float] = {"cpu_count": float(os.cpu_count() or 1)}
+
+    t0 = time.perf_counter()
+    reference = run_packet_reference(params)
+    serial_wall = time.perf_counter() - t0
+    serial_rate = reference.modeled_events / serial_wall
+    detail["serial_engine_events_per_s"] = round(reference.events_executed / serial_wall, 1)
+    detail["serial_modeled_events_per_s"] = round(serial_rate, 1)
+
+    shard_rates: Dict[int, float] = {}
+    for count in shard_counts:
+        t0 = time.perf_counter()
+        sharded = run_swarm(params, count, mode="auto")
+        wall = time.perf_counter() - t0
+        modeled = sharded.counter("netsim.swarm.steps") + sharded.counter(
+            "netsim.swarm.delivered"
+        ) + sharded.counter("netsim.swarm.gateway_steps")
+        shard_rates[count] = modeled / wall
+        detail[f"shards_{count}_modeled_events_per_s"] = round(shard_rates[count], 1)
+        detail[f"shards_{count}_engine_events_per_s"] = round(sharded.total_events / wall, 1)
+        # determinism evidence: merged digest must equal the serial
+        # reference of the same plan, byte for byte
+        serial_twin = run_swarm(params, count, mode="serial")
+        detail[f"digest_match_{count}"] = float(
+            sharded.trace_digest() == serial_twin.trace_digest()
+        )
+
+    best = max(count for count in shard_counts if count != 1) if len(shard_counts) > 1 else shard_counts[0]
+    headline = 4 if 4 in shard_rates else best
+    return StageResult(
+        "sim_shards",
+        serial_rate,
+        shard_rates[headline],
+        time.perf_counter() - started,
+        detail,
+    )
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -402,6 +475,7 @@ def run_all(
             bench_channel_crypto(n, burst, payload_bytes),
             bench_end_to_end(n, burst, payload_bytes),
             bench_sim_engine(),
+            bench_sim_shards(),
         ]
         snapshot = registry.snapshot()
     by_name = {stage.name: stage for stage in stages}
@@ -410,6 +484,7 @@ def run_all(
         "meta": {"n_packets": n, "burst": burst, "payload_bytes": payload_bytes},
         "stages": [stage.to_dict() for stage in stages],
         "events_per_s": round(by_name["sim_engine"].scalar_ops_per_s, 1),
+        "shard_events_per_s": round(by_name["sim_shards"].batched_ops_per_s, 1),
         "criterion": {
             "stage": CRITERION_STAGE,
             "required_speedup": CRITERION_SPEEDUP,

@@ -25,6 +25,16 @@ class SimulationError(RuntimeError):
     """Raised for illegal simulator usage (e.g. negative delays)."""
 
 
+#: seed of the external-injection sequence space.  Entries scheduled via
+#: :meth:`Simulator.schedule_external` draw monotonically increasing seqs
+#: from here; because every value is negative they sort *before* any
+#: locally scheduled entry at the same timestamp, in injection order —
+#: the property the sharded runner relies on to keep cross-shard
+#: deliveries deterministic regardless of what the local heap already
+#: contains (see :mod:`repro.sim.parallel`).
+_EXTERNAL_SEQ_START = -(1 << 62)
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -267,6 +277,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
+        self._ext_seq = _EXTERNAL_SEQ_START
         self._running = False
         #: heap entries executed so far (perf harness / bench metadata)
         self.events_executed = 0
@@ -288,6 +299,25 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay!r}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, 0, callback))
+
+    def schedule_external(self, when: float, callback: Callable[[], None]) -> None:
+        """Inject ``callback`` at absolute time ``when`` from *outside* the run.
+
+        The injection primitive of the sharded runner: between two
+        bounded :meth:`run` slices, the coordinator schedules every
+        cross-shard delivery through here.  Externally injected entries
+        execute *before* any locally scheduled entry carrying the same
+        timestamp — in injection order — so a shard's execution order
+        does not depend on how far its local heap had been built when
+        the frames arrived.  Callers must pre-sort each injection batch
+        canonically; this method only preserves that order.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"external event at t={when!r} is in the past (now={self.now!r})"
+            )
+        self._ext_seq += 1
+        heapq.heappush(self._heap, (when, self._ext_seq, 0, callback))
 
     def _schedule_event(self, when: float, event: Event, value: Any) -> None:
         self._seq += 1
@@ -407,8 +437,14 @@ class Simulator:
                     callback, event = payload
                     callback(event)
                 executed += 1
-                if executed > max_events:
-                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+                if executed >= max_events and heap:
+                    # a silent return here would leave a hung shard
+                    # barrier undiagnosable: name what is still pending
+                    raise SimulationError(
+                        f"run() exhausted max_events={max_events} at t={self.now:g} "
+                        f"with {len(heap)} events still pending "
+                        f"(next at t={heap[0][0]:g}); runaway simulation?"
+                    )
             if until is not None and until > self.now:
                 self.now = until
         finally:

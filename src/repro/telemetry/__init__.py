@@ -37,6 +37,7 @@ from repro.telemetry.export import (
     write_csv,
     write_json,
 )
+from repro.telemetry.merge import merge_snapshots, merged_trace_digest
 from repro.telemetry.names import (
     NameInfo,
     TelemetryNameError,
@@ -68,6 +69,8 @@ __all__ = [
     "fork_isolated",
     "info",
     "is_registered",
+    "merge_snapshots",
+    "merged_trace_digest",
     "register",
     "register_collector",
     "registered_names",

@@ -227,5 +227,105 @@ def test_peek_returns_next_event_time():
     assert sim.peek() == 0.0  # process start is scheduled at now
 
 
+def test_peek_empty_after_queue_drains():
+    sim = Simulator()
+    sim.process(iter_timeout(sim, 1.0))
+    sim.run()
+    assert sim.peek() is None
+    # still None (and harmless) on repeated polls of a drained queue
+    assert sim.peek() is None
+
+
+def test_all_of_child_failure_while_others_pending():
+    """A failing child must fail the composite while siblings still sleep
+    — the barrier-wait path the shard runner leans on."""
+    sim = Simulator()
+    caught = []
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise ValueError("child failed")
+
+    def slow():
+        yield sim.timeout(10.0)
+        return "slow"
+
+    def parent():
+        procs = [sim.process(slow()), sim.process(failing())]
+        try:
+            yield sim.all_of(procs)
+        except ValueError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == [(1.0, "child failed")]
+
+
+def test_any_of_child_failure_while_others_pending():
+    sim = Simulator()
+    caught = []
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("first to fire fails")
+
+    def slow():
+        yield sim.timeout(10.0)
+
+    def parent():
+        procs = [sim.process(slow()), sim.process(failing())]
+        try:
+            yield sim.any_of(procs)
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == [(1.0, "first to fire fails")]
+
+
+def test_run_max_events_exhaustion_names_pending_state():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run(max_events=10)
+    message = str(excinfo.value)
+    assert "max_events=10" in message
+    assert "still pending" in message
+    assert "next at t=" in message
+
+
+def test_run_max_events_exact_drain_does_not_raise():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(max_events=5)  # queue drains on the final allowed event
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_external_runs_before_same_time_local_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("local"))
+    sim.schedule_external(1.0, lambda: order.append("ext1"))
+    sim.schedule_external(1.0, lambda: order.append("ext2"))
+    sim.run()
+    assert order == ["ext1", "ext2", "local"]
+
+
+def test_schedule_external_rejects_past_timestamps():
+    sim = Simulator()
+    sim.run(until=2.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_external(1.0, lambda: None)
+
+
 def iter_timeout(sim, delay):
     yield sim.timeout(delay)

@@ -1,0 +1,114 @@
+"""Snapshot merge semantics behind the sharded runner's digest contract."""
+
+import pytest
+
+from repro.faults.injector import trace_digest
+from repro.sim import Simulator
+from repro.telemetry import TelemetryError, merge_snapshots, merged_trace_digest
+
+
+def _snap(counters=None, gauges=None, histograms=None, spans=None, dropped=0):
+    return {
+        "label": "simulator",
+        "recording": False,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+        "spans": spans or [],
+        "spans_dropped": dropped,
+    }
+
+
+def _hist(bounds, counts, count, total, lo, hi):
+    return {
+        "bounds": bounds,
+        "counts": counts,
+        "count": count,
+        "sum": total,
+        "min": lo,
+        "max": hi,
+    }
+
+
+def test_counters_sum_across_shards():
+    merged = merge_snapshots(
+        [
+            _snap(counters={"sim.engine.events": 10, "netsim.swarm.packets": 3}),
+            _snap(counters={"sim.engine.events": 5}),
+        ]
+    )
+    assert merged["counters"] == {"netsim.swarm.packets": 3, "sim.engine.events": 15}
+
+
+def test_counter_keys_come_out_sorted():
+    merged = merge_snapshots([_snap(counters={"b.b.b": 1, "a.a.a": 1})])
+    assert list(merged["counters"]) == ["a.a.a", "b.b.b"]
+
+
+def test_histograms_fold_counts_and_extremes():
+    merged = merge_snapshots(
+        [
+            _snap(histograms={"h.h.h": _hist([1.0, 2.0], [1, 0, 0], 1, 0.5, 0.5, 0.5)}),
+            _snap(histograms={"h.h.h": _hist([1.0, 2.0], [0, 0, 2], 2, 6.0, 2.5, 3.5)}),
+        ]
+    )
+    hist = merged["histograms"]["h.h.h"]
+    assert hist["counts"] == [1, 0, 2]
+    assert hist["count"] == 3
+    assert hist["sum"] == 6.5
+    assert (hist["min"], hist["max"]) == (0.5, 3.5)
+
+
+def test_histogram_bounds_disagreement_is_an_error():
+    with pytest.raises(TelemetryError, match="bounds"):
+        merge_snapshots(
+            [
+                _snap(histograms={"h.h.h": _hist([1.0], [0, 1], 1, 1.5, 1.5, 1.5)}),
+                _snap(histograms={"h.h.h": _hist([2.0], [1, 0], 1, 1.5, 1.5, 1.5)}),
+            ]
+        )
+
+
+def test_gauges_last_write_wins_by_shard_order():
+    merged = merge_snapshots(
+        [_snap(gauges={"g.g.g": 1.0}), _snap(gauges={"g.g.g": 9.0})]
+    )
+    assert merged["gauges"]["g.g.g"] == 9.0
+
+
+def test_spans_concatenate_shard_major_and_dropped_sum():
+    merged = merge_snapshots(
+        [
+            _snap(spans=[{"name": "a"}], dropped=1),
+            _snap(spans=[{"name": "b"}], dropped=2),
+        ]
+    )
+    assert [span["name"] for span in merged["spans"]] == ["a", "b"]
+    assert merged["spans_dropped"] == 3
+
+
+def test_merge_requires_at_least_one_snapshot():
+    with pytest.raises(TelemetryError):
+        merge_snapshots([])
+
+
+def test_merge_does_not_mutate_inputs():
+    snap = _snap(histograms={"h.h.h": _hist([1.0], [1, 0], 1, 0.5, 0.5, 0.5)})
+    other = _snap(histograms={"h.h.h": _hist([1.0], [0, 1], 1, 1.5, 1.5, 1.5)})
+    merge_snapshots([snap, other])
+    assert snap["histograms"]["h.h.h"]["counts"] == [1, 0]
+    assert other["histograms"]["h.h.h"]["counts"] == [0, 1]
+
+
+def test_single_snapshot_digest_matches_trace_digest():
+    """One shard's merged digest is byte-identical to the fault-injection
+    trace digest of the same registry — the bridge between the two."""
+    sim = Simulator()
+
+    def work():
+        for _ in range(5):
+            yield sim.timeout(0.1)
+
+    sim.process(work())
+    sim.run()
+    assert merged_trace_digest([sim.telemetry.snapshot()]) == trace_digest(sim.telemetry)
