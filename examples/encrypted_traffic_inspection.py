@@ -26,7 +26,14 @@ def main() -> None:
         'alert tcp any any -> any 443 '
         '(msg:"DLP exfiltration marker"; content:"X-Secret-Project: tengu"; sid:777;)'
     )
-    client.endbox.gateway.ecall("initialize", tls_inspection_config(), dlp_rule, sim=world.sim)
+    inspect_config = tls_inspection_config()
+    client.endbox.gateway.ecall(
+        "initialize",
+        inspect_config,
+        dlp_rule,
+        payload_bytes=len(inspect_config) + len(dlp_rule),
+        sim=world.sim,
+    )
     world.connect_all()
 
     https_server = HttpServer(

@@ -9,13 +9,14 @@ Examples::
     python -m repro.analysis --list-rules
 
 Exit status: 0 when no unbaselined findings remain, 1 when findings are
-reported, 2 on usage errors.
+reported, 2 on usage errors, 3 when ``--budget`` is exceeded.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -36,7 +37,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         default=None,
-        help="files/directories to scan (default: src/ if present, else .)",
+        help="files/directories to scan (default: src/ plus benchmarks/ and "
+        "examples/ where present, else .)",
     )
     parser.add_argument(
         "--format",
@@ -80,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"incremental cache location (default: ./{DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
+        "--sarif-out",
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF report to FILE (independent of --format)",
+    )
+    parser.add_argument(
+        "--budget",
+        default=None,
+        type=float,
+        metavar="SECONDS",
+        help="fail (exit 3) when the analysis itself takes longer than "
+        "SECONDS of wall time — a CI latency gate for the warm-cache run",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list every rule id with its description and exit",
@@ -114,7 +130,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule}  {description}")
         return 0
 
-    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    if args.paths:
+        paths = args.paths
+    elif Path("src").is_dir():
+        # the library plus the simulation-domain script trees (the
+        # determinism pass covers benchmarks/ and examples/ too)
+        paths = ["src"] + [d for d in ("benchmarks", "examples") if Path(d).is_dir()]
+    else:
+        paths = ["."]
     for path in paths:
         if not Path(path).exists():
             parser.error(f"no such file or directory: {path}")
@@ -123,9 +146,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (BaselineError, OSError) as exc:
         parser.error(str(exc))
     cache = None if args.no_cache else LintCache(args.cache_dir)
+    # the linter is on the DETERMINISM_ALLOWLIST: this is host tooling
+    # wall time, gating CI latency, never simulation state
+    started = time.perf_counter() if args.budget is not None else 0.0
     report = Analyzer(
         checkers=default_checkers(), baseline=baseline, cache=cache
     ).run(paths)
+    elapsed = time.perf_counter() - started if args.budget is not None else 0.0
 
     if args.rules is not None:
         tokens = {rule.strip() for rule in args.rules.split(",") if rule.strip()}
@@ -155,12 +182,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.sarif_out is not None:
+        Path(args.sarif_out).write_text(render_sarif(report) + "\n")
     if args.format == "json":
         print(render_json(report))
     elif args.format == "sarif":
         print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
+    if args.budget is not None and elapsed > args.budget:
+        print(
+            f"endbox-lint: budget exceeded: {elapsed:.2f}s > {args.budget:.2f}s",
+            file=sys.stderr,
+        )
+        return 3
     return 0 if report.clean else 1
 
 

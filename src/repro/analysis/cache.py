@@ -6,9 +6,10 @@ of that work is identical run to run.  The cache keys everything on
 
 * **Report cache** — the whole :class:`~repro.analysis.engine.AnalysisReport`
   stored under a *tree key*: SHA-256 over the engine version, the
-  checker roster (name + scope), the baseline digest and every scanned
-  file's ``(path, content hash)`` pair.  An unchanged tree is a single
-  JSON read; any edit anywhere misses.
+  interpreter's ``major.minor`` version, the checker roster (name +
+  scope), the baseline digest and every scanned file's
+  ``(path, content hash)`` pair.  An unchanged tree is a single JSON
+  read; any edit anywhere misses.
 * **Module memo** — per-file findings of ``scope == "module"`` checkers
   (boundary, determinism, interface, clickgraph), keyed on the file's
   own content hash.  After a partial edit only the changed files are
@@ -28,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +42,11 @@ DEFAULT_CACHE_DIR = ".lint_cache"
 #: bump to invalidate cache entries on *format* changes (as opposed to
 #: ENGINE_VERSION, which tracks checker behaviour)
 _FORMAT_VERSION = "1"
+
+#: the interpreter that produced the entries: ``ast`` output differs
+#: across minor versions, so a cache written under 3.11 must miss under
+#: 3.12 instead of replaying findings the current parser wouldn't emit
+_PY_VERSION = "py{}.{}".format(*sys.version_info[:2])
 
 
 def file_digest(data: bytes) -> str:
@@ -68,7 +75,7 @@ class LintCache:
     ) -> str:
         """Key of the whole-run report for this exact tree state."""
         hasher = hashlib.sha256()
-        hasher.update(f"{_FORMAT_VERSION}|{ENGINE_VERSION}|".encode())
+        hasher.update(f"{_FORMAT_VERSION}|{ENGINE_VERSION}|{_PY_VERSION}|".encode())
         hasher.update(self._roster(checkers).encode())
         hasher.update(f"|{baseline_digest}|".encode())
         for path, digest in sorted(files):
@@ -78,7 +85,7 @@ class LintCache:
     @staticmethod
     def module_key(path: str, digest: str) -> str:
         """Key of one module's per-file findings memo."""
-        raw = f"{_FORMAT_VERSION}|{ENGINE_VERSION}|{path}|{digest}"
+        raw = f"{_FORMAT_VERSION}|{ENGINE_VERSION}|{_PY_VERSION}|{path}|{digest}"
         return hashlib.sha256(raw.encode()).hexdigest()
 
     # ------------------------------------------------------------------

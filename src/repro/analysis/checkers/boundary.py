@@ -8,7 +8,7 @@ enforces that, so this pass does:
   from a trusted module (``from repro.sgx.enclave import _pages``).
 * **EB102** — an untrusted module touches a ``_private`` attribute on
   something it imported from a trusted module
-  (``EnclaveGateway._validators``, ``enclave_app._validate_blob``).
+  (``EnclaveGateway._ecall_validators``, ``enclave_app._validate_blob``).
 * **EB103** — an untrusted module touches an enclave-private attribute
   by name on *any* object (``endbox.enclave.trusted_state`` — reaching
   straight into enclave memory instead of issuing an ecall).
@@ -35,7 +35,8 @@ SENSITIVE_ATTRS = frozenset(
         "_enter",  # Enclave._enter/_leave: the raw EENTER/EEXIT path
         "_leave",
         "_ocalls",  # EnclaveGateway internals: handler/validator tables
-        "_validators",
+        "_ecall_validators",
+        "_ocall_validators",
     }
 )
 

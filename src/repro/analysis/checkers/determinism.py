@@ -19,9 +19,12 @@ perturbs every existing consumer whenever a new caller appears.
   ``os.getenv``): results silently change between machines/shells, so
   simulation code must take configuration as explicit arguments.
 
-Genuinely host-side code (the experiment runner's human-facing elapsed
-time, this linter) is exempted via
-:data:`~repro.analysis.trustmap.DETERMINISM_ALLOWLIST`.
+The simulation domain is the ``repro`` package plus the ``benchmarks/``
+and ``examples/`` trees — scripts there drive the same deterministic
+simulations.  Genuinely host-side code (the experiment runner's
+human-facing elapsed time, this linter, the pytest-benchmark harness)
+is exempted via :data:`~repro.analysis.trustmap.DETERMINISM_ALLOWLIST`
+and :data:`~repro.analysis.trustmap.DETERMINISM_PATH_ALLOWLIST`.
 """
 
 from __future__ import annotations
@@ -31,7 +34,11 @@ from typing import Iterable, List
 
 from repro.analysis.engine import Checker, ImportMap, ModuleInfo
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.trustmap import determinism_exempt
+from repro.analysis.trustmap import (
+    determinism_exempt,
+    determinism_exempt_path,
+    simulation_domain_path,
+)
 
 WALL_CLOCK_CALLS = frozenset(
     {
@@ -84,9 +91,10 @@ class DeterminismChecker(Checker):
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         """Determinism findings for one simulation-domain module."""
-        if not (module.module == "repro" or module.module.startswith("repro.")):
-            return []  # only the library is simulation-domain code
-        if determinism_exempt(module.module):
+        in_library = module.module == "repro" or module.module.startswith("repro.")
+        if not in_library and not simulation_domain_path(module.path):
+            return []  # scripts outside the library and the sim dirs
+        if determinism_exempt(module.module) or determinism_exempt_path(module.path):
             return []
         imports = ImportMap(module.tree)
         findings: List[Finding] = []

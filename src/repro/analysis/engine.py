@@ -25,7 +25,7 @@ from repro.analysis.trustmap import TrustDomain, trust_domain
 #: positive/negative, changed message text): every cached result is
 #: then invalidated at once, which is cheaper and safer than trying to
 #: fingerprint checker source.
-ENGINE_VERSION = "6.0"
+ENGINE_VERSION = "7.0"
 
 #: inline suppression: ``# endbox-lint: ignore`` (all rules) or
 #: ``# endbox-lint: ignore[EB102,DET401]`` on the finding's line.

@@ -292,6 +292,11 @@ class RawOwnershipFinding:
 class OwnershipAnalysis:
     """Sim-driven reachability plus shared-state detection."""
 
+    #: method names excluded from bare-name call resolution; subclasses
+    #: (the HP7xx hot-path engine) extend this set without changing the
+    #: SS6xx call graph
+    generic_names = GENERIC_NAMES
+
     def __init__(self, modules: Sequence[ModuleInfo]) -> None:
         # the linter manipulates findings about shared state, not shared
         # state itself, and would otherwise flag its own fixture prose
@@ -427,7 +432,7 @@ class OwnershipAnalysis:
                 ]
                 if local:
                     return local
-            if func.attr not in GENERIC_NAMES:
+            if func.attr not in self.generic_names:
                 return [fn for fn in self.by_bare.get(func.attr, []) if fn.is_method]
             return []
         if isinstance(func, ast.Name):
@@ -461,7 +466,7 @@ class OwnershipAnalysis:
                     for fn in self.by_bare.get(node.attr, [])
                     if fn.module is module and fn.is_method
                 ]
-            if node.attr not in GENERIC_NAMES:
+            if node.attr not in self.generic_names:
                 return [fn for fn in self.by_bare.get(node.attr, []) if fn.is_method]
             return []
         if isinstance(node, ast.Name):

@@ -130,3 +130,41 @@ def determinism_exempt(module: str) -> bool:
     return any(
         module == allowed or module.startswith(allowed + ".") for allowed in DETERMINISM_ALLOWLIST
     )
+
+
+#: repo-relative directory names whose files are simulation-domain even
+#: though they live outside the ``repro`` package: benchmarks regenerate
+#: the paper's figures and examples script the same deterministic
+#: simulations, so wall-clock/entropy leaks there skew results exactly
+#: like leaks in the library would.
+SIMULATION_PATH_DIRS = frozenset({"benchmarks", "examples"})
+
+#: repo-relative file paths allowed wall-clock despite being in a
+#: simulation-domain directory (suffix match, ``/``-normalized).
+DETERMINISM_PATH_ALLOWLIST = frozenset(
+    {
+        # the bench harness wraps pytest-benchmark, whose whole job is
+        # timing regeneration wall cost; the simulations it times stay
+        # on the sim clock
+        "benchmarks/conftest.py",
+    }
+)
+
+
+def _normalized_parts(path: str) -> tuple:
+    return tuple(part for part in path.replace("\\", "/").split("/") if part)
+
+
+def simulation_domain_path(path: str) -> bool:
+    """True when ``path`` lies in a simulation-domain directory."""
+    return any(part in SIMULATION_PATH_DIRS for part in _normalized_parts(path)[:-1])
+
+
+def determinism_exempt_path(path: str) -> bool:
+    """True when the file at ``path`` may use wall-clock time."""
+    parts = _normalized_parts(path)
+    return any(
+        parts[-len(allowed_parts):] == allowed_parts
+        for allowed_parts in (_normalized_parts(a) for a in DETERMINISM_PATH_ALLOWLIST)
+        if len(parts) >= len(allowed_parts)
+    )

@@ -76,9 +76,18 @@ def hmac_sha256(key: bytes, *chunks: bytes) -> bytes:
     return outer.digest()
 
 
-def hmac_verify(key: bytes, data: bytes, tag: bytes) -> bool:
-    """Verify ``tag`` over ``data``; tolerates truncated tags (>= 10 bytes)."""
+def hmac_verify(key: bytes, *parts: bytes) -> bool:
+    """Verify a MAC tag; tolerates truncated tags (>= 10 bytes).
+
+    The last positional argument is the tag; everything before it is
+    MAC'd as the concatenation of the chunks — so callers holding the
+    authenticated data in pieces (header, payload) pass them separately
+    instead of concatenating into a throwaway buffer first.
+    """
+    if len(parts) < 2:
+        raise TypeError("hmac_verify needs at least (data, tag)")
+    *chunks, tag = parts
     if len(tag) < 10:
         return False
-    expected = hmac_sha256(key, data)[: len(tag)]
+    expected = hmac_sha256(key, *chunks)[: len(tag)]
     return _hmac.compare_digest(expected, tag)

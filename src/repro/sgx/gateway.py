@@ -93,7 +93,11 @@ class EnclaveGateway:
         #: (repro.core.enclave_app) add their charged fault counts here
         self.epc_faults = registry.counter("sgx.epc.page_faults")
         self._ocalls: Dict[str, Callable] = {}
-        self._validators: Dict[str, Callable[..., bool]] = {}
+        # separate per-direction tables keyed by bare name: the hot
+        # ecall/ocall paths look validators up per crossing, and a
+        # single table would need an f"ecall:{name}" key built per call
+        self._ecall_validators: Dict[str, Callable[..., bool]] = {}
+        self._ocall_validators: Dict[str, Callable[..., bool]] = {}
 
     # ------------------------------------------------------------------
     # declaration
@@ -126,11 +130,11 @@ class EnclaveGateway:
             )
         self._ocalls[name] = handler
         if validator is not None:
-            self._validators[f"ocall:{name}"] = validator
+            self._ocall_validators[name] = validator
 
     def set_ecall_validator(self, name: str, validator: Callable[..., bool]) -> None:
         """Attach an input sanity check to an ecall."""
-        self._validators[f"ecall:{name}"] = validator
+        self._ecall_validators[name] = validator
 
     # ------------------------------------------------------------------
     # crossings
@@ -145,7 +149,7 @@ class EnclaveGateway:
         ``payload_bytes`` sizes the buffer copied across the boundary
         (cost accounting); the actual Python arguments are passed through.
         """
-        validator = self._validators.get(f"ecall:{name}")
+        validator = self._ecall_validators.get(name)
         if validator is not None and not validator(*args, **kwargs):
             raise InterfaceViolation(f"ecall {name!r}: argument sanity check failed")
         handler = self.enclave._enter(name)
@@ -172,7 +176,7 @@ class EnclaveGateway:
 
         Returns the list of per-item handler results, in order.
         """
-        validator = self._validators.get(f"ecall:{name}")
+        validator = self._ecall_validators.get(name)
         if validator is not None:
             for args in calls:
                 if not validator(*args, **kwargs):
@@ -205,7 +209,7 @@ class EnclaveGateway:
         else:
             self._charge_transition(payload_bytes)
             result = handler(*args, **kwargs)
-        validator = self._validators.get(f"ocall:{name}")
+        validator = self._ocall_validators.get(name)
         if validator is not None and not validator(result):
             raise InterfaceViolation(f"ocall {name!r}: return value sanity check failed")
         if not (self.exitless_ocalls and self.enclave.mode is EnclaveMode.HARDWARE):

@@ -58,7 +58,7 @@ class SealedStorage:
             raise SealingError("sealed blob truncated")
         nonce, tag, ciphertext = blob[:8], blob[8:40], blob[40:]
         key = self._sealing_key(enclave)
-        if not hmac_verify(key, label.encode() + nonce + ciphertext, tag):
+        if not hmac_verify(key, label.encode(), nonce, ciphertext, tag):
             raise SealingError("sealed blob failed authentication")
         return KeystreamCipher(key).decrypt(nonce, ciphertext)
 

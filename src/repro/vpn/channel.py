@@ -134,16 +134,10 @@ class DataChannel:
             self.rejected.inc()
             raise ChannelError("data packet too short")
         payload, tag = packet.body[:-TAG_LEN], packet.body[-TAG_LEN:]
-        header = VpnPacket(
-            opcode=packet.opcode,
-            session_id=packet.session_id,
-            packet_id=packet.packet_id,
-            body=payload,
-            frag_id=packet.frag_id,
-            frag_index=packet.frag_index,
-            frag_count=packet.frag_count,
-        ).auth_header()
-        if not hmac_verify(self._hmac_key, header + payload, tag):
+        # auth_header() covers only the fixed header fields, so the MAC
+        # input is (header, payload) fed as chunks — no throwaway packet
+        # object and no header+payload concat on the per-packet path
+        if not hmac_verify(self._hmac_key, packet.auth_header(), payload, tag):
             self.rejected.inc()
             raise ChannelError("data packet failed authentication")
         self.bytes_unprotected.inc(len(payload))

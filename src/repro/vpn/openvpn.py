@@ -732,7 +732,7 @@ class OpenVpnClient:
         if config is None:
             raise VpnError("no session config received")
         body, tag = config.body[:-16], config.body[-16:]
-        if not hmac_verify(self.secrets.server_hmac, b"session-config" + body, tag):
+        if not hmac_verify(self.secrets.server_hmac, b"session-config", body, tag):
             raise VpnError("session config failed authentication")
         return json.loads(body.decode())
 

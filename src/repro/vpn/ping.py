@@ -44,7 +44,7 @@ class PingMessage:
         if len(data) != _FORMAT.size + TAG_LEN:
             raise PingError("bad ping length")
         body, tag = data[: _FORMAT.size], data[_FORMAT.size :]
-        if not hmac_verify(hmac_key, b"ping" + body, tag):
+        if not hmac_verify(hmac_key, b"ping", body, tag):
             raise PingError("ping failed authentication")
         version, grace, timestamp = _FORMAT.unpack(body)
         return cls(config_version=version, grace_period_s=grace, timestamp_ns=timestamp)

@@ -1,0 +1,10 @@
+# module: repro.click.router
+# expect: none
+# The same copies as the hot fixtures, but configure() is control-plane
+# code no hot seed reaches.
+
+
+class Router:
+    def configure(self, payload):
+        header = payload[:4]
+        return header + b"\x00" + bytes(payload)

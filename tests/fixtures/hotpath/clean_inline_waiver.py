@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: none
+# A required copy carrying its inline justification.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._strip(ip_packet)
+
+    def _strip(self, payload):
+        return payload[4:]  # endbox-lint: hotpath(HP701)

@@ -1,0 +1,10 @@
+# module: repro.click.router
+# expect: none
+# Formatting inside a raise is the error path, not the fast path.
+
+
+class Router:
+    def process(self, ip_packet):
+        if not ip_packet:
+            raise ValueError(f"bad packet {ip_packet!r}")
+        return ip_packet

@@ -1,0 +1,10 @@
+# module: repro.click.router
+# expect: none
+# A view over a function-local buffer that is never mutated nor stored
+# is exactly the zero-copy pattern the pass exists to encourage.
+
+
+class Router:
+    def process(self, ip_packet):
+        view = memoryview(ip_packet)
+        return view.nbytes

@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: HP701
+# bytes() on a payload that is already bytes duplicates the buffer.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._snapshot(ip_packet)
+
+    def _snapshot(self, payload):
+        return bytes(payload)

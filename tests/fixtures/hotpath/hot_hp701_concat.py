@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: HP701
+# Header prepend via + builds a fresh buffer on every packet.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._frame(ip_packet, b"\x45\x00")
+
+    def _frame(self, payload, header):
+        return header + payload

@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: HP701
+# b"".join materializes a fresh buffer per packet.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._merge(ip_packet)
+
+    def _merge(self, chunks):
+        return b"".join(chunks)

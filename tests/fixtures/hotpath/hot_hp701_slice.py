@@ -1,0 +1,12 @@
+# module: repro.click.router
+# expect: HP701
+# Router.process is a hot seed; the helper it calls per packet copies a
+# slice of the payload.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._strip(ip_packet)
+
+    def _strip(self, payload):
+        return payload[4:]

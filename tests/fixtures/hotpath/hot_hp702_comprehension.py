@@ -1,0 +1,12 @@
+# module: repro.click.router
+# expect: HP702
+# Router.process_batch is itself a seed; the comprehension allocates a
+# fresh container per call.
+
+
+class Router:
+    def process_batch(self, ip_packets):
+        return [self._mark(p) for p in ip_packets]
+
+    def _mark(self, p):
+        return p

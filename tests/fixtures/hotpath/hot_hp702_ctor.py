@@ -1,0 +1,14 @@
+# module: repro.click.router
+# expect: HP702
+# One wrapper object per dispatched packet; the constructor body itself
+# is NOT traversed (it is session-setup when reached any other way).
+
+
+class Wrapper:
+    def __init__(self, raw):
+        self.raw = raw
+
+
+class Router:
+    def process(self, ip_packet):
+        return Wrapper(ip_packet)

@@ -1,0 +1,9 @@
+# module: repro.click.router
+# expect: HP702
+# A metadata dict allocated per packet belongs at burst/session scope.
+
+
+class Router:
+    def process(self, ip_packet):
+        meta = {"seen": True}
+        return meta

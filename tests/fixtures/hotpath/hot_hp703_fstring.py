@@ -1,0 +1,9 @@
+# module: repro.click.router
+# expect: HP703
+# f-string formatting on the per-packet path.
+
+
+class Router:
+    def process(self, ip_packet):
+        label = f"pkt-{ip_packet}"
+        return label

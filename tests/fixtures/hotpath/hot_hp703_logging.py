@@ -1,0 +1,13 @@
+# module: repro.click.router
+# expect: HP703
+# Logger calls per packet; log at burst boundaries instead.
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+class Router:
+    def process(self, ip_packet):
+        log.debug("packet seen")
+        return ip_packet

@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: HP703
+# %-formatting per packet is just as hot as an f-string.
+
+
+class Router:
+    def process(self, ip_packet):
+        return self._tag(len(ip_packet))
+
+    def _tag(self, seq):
+        return "pkt-%d" % seq

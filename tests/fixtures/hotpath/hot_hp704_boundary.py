@@ -1,0 +1,12 @@
+# module: repro.click.router
+# expect: HP704
+# serialize() output handed straight to the socket boundary by value.
+
+
+class Router:
+    def __init__(self, sock):
+        self.sock = sock
+
+    def process(self, ip_packet):
+        self.sock.sendto(ip_packet.serialize(), ("10.0.0.1", 9))
+        return True

@@ -1,0 +1,11 @@
+# module: repro.click.router
+# expect: HP705
+# A memoryview over the router's persistent scratch buffer is stored on
+# self; the next packet overwrites the bytes under the stored view.
+
+
+class Router:
+    def process(self, ip_packet):
+        view = memoryview(self._scratch)
+        self.last_header = view[:20]
+        return True

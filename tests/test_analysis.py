@@ -47,14 +47,17 @@ def test_shipped_tree_is_clean():
     """The repository must have zero unbaselined findings (satellite a)."""
     baseline_file = REPO_ROOT / "lint-baseline.json"
     baseline = Baseline.load(baseline_file) if baseline_file.is_file() else None
-    report = analyze_paths([SRC], baseline=baseline)
+    trees = [SRC] + [
+        REPO_ROOT / name for name in ("benchmarks", "examples") if (REPO_ROOT / name).is_dir()
+    ]
+    report = analyze_paths(trees, baseline=baseline)
     assert report.modules_scanned > 100
     assert report.clean, "\n".join(
         f"{f.location()}: {f.rule}: {f.message}" for f in report.findings
     )
 
 
-def test_all_six_passes_run():
+def test_all_seven_passes_run():
     report = analyze_paths([SRC])
     assert report.checkers == [
         "boundary",
@@ -63,6 +66,7 @@ def test_all_six_passes_run():
         "clickgraph",
         "taint",
         "ownership",
+        "hotpath",
     ]
 
 
@@ -188,6 +192,29 @@ def test_determinism_skips_non_repro_code():
         "import time\nprint(time.time())\n",
         module="conftest",
         checkers=[DeterminismChecker()],
+    )
+    assert findings == []
+
+
+def test_determinism_covers_benchmark_tree_by_path():
+    # benchmarks/ modules are not under the repro package, but the walker
+    # now pulls them into the simulation domain by path
+    findings = analyze_source(
+        "import time\n\ndef run():\n    return time.time()\n",
+        module="bench_smoke",
+        checkers=[DeterminismChecker()],
+        path="benchmarks/bench_smoke.py",
+    )
+    assert rules_of(findings) == ["DET401"]
+
+
+def test_determinism_path_allowlist_exempts_benchmark_conftest():
+    # the benchmark harness legitimately wall-clocks its own runs
+    findings = analyze_source(
+        "import time\n\ndef wall():\n    return time.time()\n",
+        module="conftest",
+        checkers=[DeterminismChecker()],
+        path="benchmarks/conftest.py",
     )
     assert findings == []
 
@@ -509,6 +536,7 @@ def test_cli_json_format_is_machine_readable():
         "clickgraph",
         "taint",
         "ownership",
+        "hotpath",
     }
     assert payload["findings"] == []
 
