@@ -12,14 +12,14 @@ Run:  python examples/encrypted_traffic_inspection.py
 """
 
 from repro.click.configs import tls_inspection_config
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.http.client import HttpClient
 from repro.http.server import HttpServer
 from repro.tlslib.library import TlsLibrary
 
 
 def main() -> None:
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP").build()
     client = world.clients[0]
     # the enclave runs TLSDecrypt -> IDSMatcher with a DLP-style rule
     dlp_rule = (

@@ -20,16 +20,16 @@ Run:  python examples/enterprise_network.py
 """
 
 from repro.click import configs as click_configs
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.ids.community_rules import ruleset_text
 from repro.netsim.packet import IPv4Packet, TcpSegment
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 
 
 def main() -> None:
-    world = build_deployment(
-        n_clients=3, setup="endbox_sgx", use_case="IDPS", scenario="enterprise", ping_interval=0.5
-    )
+    world = DeploymentSpec(
+        clients=3, setup="endbox_sgx", use_case="IDPS", scenario="enterprise", ping_interval=0.5
+    ).build()
     world.connect_all()
     print(f"{len(world.clients)} employees connected through attested enclaves")
     for client in world.clients:

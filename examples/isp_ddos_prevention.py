@@ -18,18 +18,18 @@ Run:  python examples/isp_ddos_prevention.py
 
 import json
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 
 
 def main() -> None:
-    world = build_deployment(
-        n_clients=2,
+    world = DeploymentSpec(
+        clients=2,
         setup="endbox_sgx",
         use_case="DDoS",
         scenario="isp",
         isp_no_encryption=True,
-    )
+    ).build()
     world.connect_all()
     bot, clean = world.clients
     print("ISP deployment up:")

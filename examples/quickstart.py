@@ -10,13 +10,13 @@ reaches the internal host.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 
 
 def main() -> None:
     # one EndBox client, firewall use case (16 IPFilter rules, §V-B)
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="FW")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="FW").build()
     world.connect_all()
     client = world.clients[0]
     print(f"client connected; tunnel address {client.tunnel_ip}")

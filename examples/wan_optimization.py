@@ -14,7 +14,7 @@ remote employee connected over a slow WAN link:
 Run:  python examples/wan_optimization.py
 """
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.http.client import HttpClient
 from repro.http.server import HttpServer
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
@@ -39,7 +39,7 @@ DECOMP_CONFIG = (
 def main() -> None:
     # two clients: the remote employee and a peer site running the
     # decompressor (c2c flagging off so the peer's Click actually runs)
-    world = build_deployment(n_clients=2, setup="endbox_sgx", use_case="NOP", c2c_flagging=False)
+    world = DeploymentSpec(clients=2, setup="endbox_sgx", use_case="NOP", c2c_flagging=False).build()
     client, peer = world.clients
     # remote employee: 40 ms one-way to the office
     client.host.stack.interfaces[0].link.latency_s = 40e-3

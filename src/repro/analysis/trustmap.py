@@ -75,6 +75,10 @@ TRUST_MAP: Dict[str, TrustDomain] = {
     # touches enclave-private state; deliberately NOT on the
     # determinism allowlist — plans run on the sim clock only
     "repro.faults": TrustDomain.UNTRUSTED,
+    # fleet orchestration (balancers, deployment builder, migration) is
+    # operator-side control-plane code; the trusted pieces it moves
+    # around (enclaves, sealed state) live in their own modules
+    "repro.fleet": TrustDomain.UNTRUSTED,
     "repro.experiments": TrustDomain.UNTRUSTED,
     "repro.consensus": TrustDomain.UNTRUSTED,
     # the wall-clock micro-harness times host-side Python, never enclave

@@ -17,17 +17,17 @@ from __future__ import annotations
 from typing import List
 
 from repro.attacks.common import AttackOutcome, AttackReport
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.packet import IPv4Packet, UdpDatagram
 from repro.netsim.traffic import UdpSink
 from repro.vpn.protocol import OP_DATA, VpnPacket
 
 
-def run_bypass_attacks(seed: bytes = b"atk-bypass") -> List[AttackReport]:
+def run_bypass_attacks(seed: str = "atk-bypass") -> List[AttackReport]:
     """Mount the middlebox-bypass attacks; returns reports."""
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False, seed=seed
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False, seed=seed
+    ).build()
     world.connect_all()
     client = world.clients[0]
     reports = []

@@ -15,7 +15,7 @@ from repro.attacks.common import AttackOutcome, AttackReport
 from repro.core.ca import EnrollmentError
 from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
 from repro.core.provisioning import provision_client
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.x25519 import X25519PrivateKey
 from repro.netsim.host import class_a_host
@@ -25,16 +25,16 @@ from repro.vpn.handshake import Certificate
 from repro.vpn.openvpn import OpenVpnClient
 
 
-def run_dos_attacks(seed: bytes = b"atk-dos") -> List[AttackReport]:
+def run_dos_attacks(seed: str = "atk-dos") -> List[AttackReport]:
     """Mount the enclave-DoS attacks; returns reports."""
     reports = []
 
     # ------------------------------------------------------------------
     # 1. user refuses to run the enclave and connects "manually"
     # ------------------------------------------------------------------
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
+    ).build()
     host = class_a_host(world.sim, "no-enclave-user")
     world.topo.attach(host)
     key = X25519PrivateKey(HmacDrbg(b"self-made").generate(32))
@@ -62,9 +62,9 @@ def run_dos_attacks(seed: bytes = b"atk-dos") -> List[AttackReport]:
     # ------------------------------------------------------------------
     # 2. destroy the enclave mid-session: traffic stops, nothing leaks
     # ------------------------------------------------------------------
-    world2 = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed + b"2"
-    )
+    world2 = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed + "2"
+    ).build()
     world2.connect_all()
     client = world2.clients[0]
     sink = UdpSink(world2.internal, 6300)

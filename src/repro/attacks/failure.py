@@ -9,15 +9,15 @@ verifies the other two keep full connectivity.
 from __future__ import annotations
 
 from repro.attacks.common import AttackOutcome, AttackReport
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 
 
-def run_failure_isolation(seed: bytes = b"atk-failure") -> AttackReport:
+def run_failure_isolation(seed: str = "atk-failure") -> AttackReport:
     """Run the middlebox-failure scenario; returns its report."""
-    world = build_deployment(
-        n_clients=3, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
-    )
+    world = DeploymentSpec(
+        clients=3, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
+    ).build()
     world.connect_all()
     sinks = []
     sources = []

@@ -9,15 +9,15 @@ server's per-session replay window must reject every replayed packet id.
 from __future__ import annotations
 
 from repro.attacks.common import AttackOutcome, AttackReport
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.traffic import UdpSink
 
 
-def run_replay_attack(seed: bytes = b"atk-replay") -> AttackReport:
+def run_replay_attack(seed: str = "atk-replay") -> AttackReport:
     """Mount the traffic-replay attack; returns its report."""
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, seed=seed
+    ).build()
     world.connect_all()
     client = world.clients[0]
     sink = UdpSink(world.internal, 6200)

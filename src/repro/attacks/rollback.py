@@ -22,18 +22,18 @@ from repro.click import configs as click_configs
 from repro.core.ca import CertificateAuthority
 from repro.core.config_update import ConfigPublisher
 from repro.core.enclave_app import ConfigError
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 from repro.sgx.attestation import IntelAttestationService
 from repro.vpn.ping import PingError, PingMessage
 from repro.vpn.protocol import OP_PING, VpnPacket
 
 
-def run_rollback_attacks(seed: bytes = b"atk-rollback") -> List[AttackReport]:
+def run_rollback_attacks(seed: str = "atk-rollback") -> List[AttackReport]:
     """Mount the configuration-rollback attacks; returns reports."""
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.2
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.2
+    ).build()
     world.connect_all()
     client = world.clients[0]
     publisher = world.publisher
@@ -122,14 +122,14 @@ def run_rollback_attacks(seed: bytes = b"atk-rollback") -> List[AttackReport]:
     # ------------------------------------------------------------------
     # 4. ignore the update and keep sending after the grace period
     # ------------------------------------------------------------------
-    stale_world = build_deployment(
-        n_clients=1,
+    stale_world = DeploymentSpec(
+        clients=1,
         setup="endbox_sgx",
         use_case="NOP",
-        seed=seed + b"-stale",
+        seed=seed + "-stale",
         with_config_server=False,  # the client *cannot* update
         ping_interval=0.3,
-    )
+    ).build()
     stale_world.connect_all()
     stale_client = stale_world.clients[0]
     stale_world.server.announce_config(2, grace_period_s=0.5)

@@ -1,8 +1,10 @@
-"""Turnkey deployment builders for the paper's scenarios (§II-A, §V-B).
+"""Deployment dataclasses + the deprecated kwargs entry point (§II-A, §V-B).
 
-``build_deployment`` assembles a complete simulated world — topology,
-IAS, CA, attested client enclaves, the EndBox (or baseline) VPN server,
-configuration file server and internal service hosts — for any of the
+The builder itself lives behind :class:`repro.fleet.DeploymentSpec` — a
+declarative, JSON-round-trippable description of a whole simulated
+world.  ``spec.build()`` assembles the topology, IAS, CA, attested
+client enclaves, the EndBox (or baseline) VPN gateway fleet,
+configuration file server and internal service hosts for any of the
 evaluation setups:
 
 * ``"vanilla"``        — unmodified OpenVPN, no middlebox,
@@ -17,35 +19,30 @@ two deployment scenarios:
 * ``"isp"``        — configurations inspectable by customers; data
   channel encryption optional (``isp_no_encryption`` applies the §IV-A
   traffic-protection optimisation).
+
+This module keeps the :class:`EndBoxDeployment` result type (the fleet
+deployment subclasses it), the use-case configuration table and
+:func:`build_deployment`, the **deprecated** kwargs shim over
+``DeploymentSpec`` retained for out-of-tree callers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.click import configs as click_configs
-from repro.click.router import Router
 from repro.core.ca import CertificateAuthority
 from repro.core.config_update import ConfigFileServer, ConfigPublisher
-from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
-from repro.core.endbox_client import EndBoxClient
-from repro.core.endbox_server import EndBoxServer
-from repro.core.provisioning import provision_client
-from repro.costs.model import CostModel, default_cost_model
-from repro.crypto.drbg import HmacDrbg
-from repro.crypto.x25519 import X25519PrivateKey
+from repro.core.enclave_app import EndBoxEnclave
+from repro.costs.model import CostModel
 from repro.ids.community_rules import ruleset_text
-from repro.ids.snort_rules import parse_rules
-from repro.netsim.addresses import IPv4Address, IPv4Network
-from repro.netsim.host import Host, class_a_host, class_b_host
+from repro.netsim.host import Host
 from repro.netsim.topology import StarTopology
 from repro.sgx.attestation import IntelAttestationService, SgxPlatform
-from repro.sgx.enclave import EnclaveMode
-from repro.sgx.gateway import CostLedger
 from repro.sgx.sealing import SealedStorage
 from repro.sim import Simulator
-from repro.vpn.channel import ProtectionMode
 from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer
 
 MANAGED_NET = "10.0.0.0/16"
@@ -54,7 +51,7 @@ TUNNEL_NET = "10.8.0.0/24"
 SETUPS = ("vanilla", "openvpn_click", "endbox_sgx", "endbox_sim")
 
 
-def _use_case_configs(use_case: str, server_side: bool) -> Tuple[str, str]:
+def use_case_configs(use_case: str, server_side: bool) -> Tuple[str, str]:
     """(click config text, ruleset text) for a use case."""
     rules = ""
     if use_case == "NOP":
@@ -75,6 +72,23 @@ def _use_case_configs(use_case: str, server_side: bool) -> Tuple[str, str]:
     else:
         raise ValueError(f"unknown use case {use_case!r}")
     return config, rules
+
+
+class ClientConnectError(RuntimeError):
+    """``connect_all``'s deadline passed with clients still unconnected.
+
+    Names every failed client instead of silently proceeding (or
+    reporting only the first); ``failed`` carries the host names and
+    ``deadline`` the simulated time that was waited for.
+    """
+
+    def __init__(self, failed: List[str], deadline: float) -> None:
+        self.failed = list(failed)
+        self.deadline = deadline
+        super().__init__(
+            f"{len(self.failed)} client(s) not connected by t={deadline:g}s: "
+            + ", ".join(self.failed)
+        )
 
 
 @dataclass
@@ -101,20 +115,38 @@ class EndBoxDeployment:
     #: per-client SGX platforms (index-aligned with ``clients``); needed
     #: by fault injection to rebuild an enclave after a client crash
     platforms: List[SgxPlatform] = field(default_factory=list)
+    #: the deadline ``connect_all`` waits for, taken from the spec's
+    #: ``connect_timeout_s`` (10 s for the deprecated kwargs path)
+    connect_timeout_s: float = 10.0
 
-    def connect_all(self, until: float = 10.0) -> None:
-        """Start every client and wait for all tunnels to establish."""
+    def connect_all(self, until: Optional[float] = None) -> None:
+        """Start every client and wait for all tunnels to establish.
+
+        The deadline defaults to the deployment's spec-derived
+        ``connect_timeout_s``; pass ``until`` to override it.  Raises
+        :class:`ClientConnectError` naming *every* client that failed,
+        chained from the first connection exception when one was
+        recorded.
+        """
+        deadline = self.connect_timeout_s if until is None else until
         for client in self.clients:
             client.start()
-        self.sim.run(until=until)
+        self.sim.run(until=deadline)
+        failed: List[str] = []
+        first_exc: Optional[BaseException] = None
         for client in self.clients:
             if not client.connected_event.triggered:
-                raise RuntimeError(f"{client.host.name}: VPN connection not established")
-            if client.connected_event.exception is not None:
-                raise client.connected_event.exception
+                failed.append(client.host.name)
+            elif client.connected_event.exception is not None:
+                failed.append(client.host.name)
+                if first_exc is None:
+                    first_exc = client.connected_event.exception
+        if failed:
+            raise ClientConnectError(failed, deadline) from first_exc
 
     @property
     def internal(self) -> Host:
+        """The first internal service host."""
         return self.internal_hosts[0]
 
 
@@ -136,141 +168,40 @@ def build_deployment(
     with_config_server: bool = True,
     seed: bytes = b"deployment",
 ) -> EndBoxDeployment:
-    """Build a full simulated deployment (not yet connected)."""
-    if setup not in SETUPS:
-        raise ValueError(f"unknown setup {setup!r}; expected one of {SETUPS}")
-    if scenario not in ("enterprise", "isp"):
-        raise ValueError(f"unknown scenario {scenario!r}")
-    model = cost_model or default_cost_model()
-    sim = Simulator()
-    topo = StarTopology(sim, network=MANAGED_NET)
-    ias = IntelAttestationService()
-    ca = CertificateAuthority(ias, seed=seed + b"-ca")
-    image = build_endbox_image(ca.public_key, model)
-    ca.whitelist_measurement(image.measure())
+    """Deprecated: build a deployment from kwargs.
 
-    mode = ProtectionMode.ENCRYPT_AND_MAC
-    if scenario == "isp" and isp_no_encryption:
-        mode = ProtectionMode.MAC_ONLY
-
-    # --- server --------------------------------------------------------
-    server_host = class_b_host(sim, "vpn-gw", forwarding=True)
-    topo.attach(server_host)
-    drbg = HmacDrbg(seed)
-    server_key = X25519PrivateKey(drbg.generate(32))
-    server_cert = ca.issue_server_certificate("vpn-server", server_key.public_bytes)
-    server_cls = EndBoxServer if setup.startswith("endbox") else OpenVpnServer
-    server_kwargs = dict(
-        host=server_host,
-        identity_key=server_key,
-        certificate=server_cert,
-        ca_public_key=ca.public_key,
-        tunnel_network=TUNNEL_NET,
-        cost_model=model,
-        protection_mode=mode,
-        ping_interval=ping_interval,
-        charge_cpu=charge_cpu,
+    Thin shim over :class:`repro.fleet.DeploymentSpec` — constructs the
+    equivalent single-gateway spec and builds it, so the resulting world
+    is byte-identical to what this function historically produced.  New
+    code should construct the spec directly (it round-trips through
+    JSON and scales past one gateway).
+    """
+    warnings.warn(
+        "build_deployment() is deprecated; construct a "
+        "repro.fleet.DeploymentSpec and call .build() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if setup == "openvpn_click":
-        server = _ClickAttachedServer(use_case=use_case, **server_kwargs)
-        # two daemons per client (OpenVPN + Click) contend for the cores
-        server.oversubscription = max(0.0, 2 * n_clients - server_host.cpu.effective_cores)
-    else:
-        server = server_cls(**server_kwargs)
-    server.start()
-    topo.route_subnet(TUNNEL_NET, server_host)
+    from repro.fleet import DeploymentSpec
 
-    # --- internal hosts --------------------------------------------------
-    internal_hosts = []
-    for index in range(n_internal_hosts):
-        internal = class_b_host(sim, f"internal-{index}")
-        topo.attach(internal)
-        if protect_internal:
-            _install_vpn_only_firewall(internal)
-        internal_hosts.append(internal)
-
-    # --- configuration file server ---------------------------------------
-    publisher = ConfigPublisher(ca)
-    config_server = None
-    config_server_endpoint = None
-    if with_config_server:
-        config_host = class_b_host(sim, "config-server")
-        topo.attach(config_host)
-        config_server = ConfigFileServer(config_host, cost_model=model)
-        config_server.start()
-        config_server_endpoint = (config_host.address, config_server.port)
-
-    deployment = EndBoxDeployment(
-        sim=sim,
-        topo=topo,
-        model=model,
+    spec = DeploymentSpec(
         setup=setup,
         use_case=use_case,
         scenario=scenario,
-        ias=ias,
-        ca=ca,
-        server_host=server_host,
-        server=server,
-        config_server=config_server,
-        publisher=publisher,
-        internal_hosts=internal_hosts,
+        clients=n_clients,
+        internal_hosts=n_internal_hosts,
+        protect_internal=protect_internal,
+        isp_no_encryption=isp_no_encryption,
+        single_ecall_optimization=single_ecall_optimization,
+        c2c_flagging=c2c_flagging,
+        ecall_batching=ecall_batching,
+        ecall_batch_limit=ecall_batch_limit,
+        with_config_server=with_config_server,
+        ping_interval=ping_interval,
+        charge_cpu=charge_cpu,
+        seed=seed.decode("latin-1"),
     )
-
-    # --- clients ---------------------------------------------------------
-    client_config, rules = _use_case_configs(use_case, server_side=False)
-    for index in range(n_clients):
-        host = class_a_host(sim, f"client-{index}")
-        topo.attach(host, address=f"10.0.1.{index + 1}")
-        deployment.client_hosts.append(host)
-        if setup.startswith("endbox"):
-            enclave_mode = EnclaveMode.HARDWARE if setup == "endbox_sgx" else EnclaveMode.SIMULATION
-            platform = SgxPlatform(ias, name=f"platform-{index}")
-            endbox = EndBoxEnclave.create(image, platform, mode=enclave_mode)
-            storage = SealedStorage(platform.platform_id)
-            provision_client(endbox, platform, ca, storage)
-            client = EndBoxClient(
-                host=host,
-                server_addr=server_host.address,
-                endbox=endbox,
-                ca_public_key=ca.public_key,
-                click_config=client_config,
-                ruleset_text=rules,
-                config_server=config_server_endpoint,
-                single_ecall_optimization=single_ecall_optimization,
-                c2c_flagging=c2c_flagging,
-                ecall_batching=ecall_batching,
-                ecall_batch_limit=ecall_batch_limit,
-                server_name="vpn-server",
-                cost_model=model,
-                protection_mode=mode,
-                ping_interval=ping_interval,
-                charge_cpu=charge_cpu,
-                tunnel_routes=[MANAGED_NET],
-            )
-            deployment.enclaves.append(endbox)
-            deployment.storages.append(storage)
-            deployment.platforms.append(platform)
-        else:
-            key = X25519PrivateKey(drbg.child(f"client-{index}".encode()).generate(32))
-            cert = ca.issue_server_certificate(f"vanilla-client-{index}", key.public_bytes)
-            client = OpenVpnClient(
-                host=host,
-                server_addr=server_host.address,
-                identity_key=key,
-                certificate=cert,
-                ca_public_key=ca.public_key,
-                server_name="vpn-server",
-                cost_model=model,
-                protection_mode=mode,
-                ping_interval=ping_interval,
-                charge_cpu=charge_cpu,
-                tunnel_routes=[MANAGED_NET],
-            )
-        deployment.clients.append(client)
-
-    if protect_internal:
-        _install_switch_acl(topo, deployment)
-    return deployment
+    return spec.build(cost_model=cost_model)
 
 
 @dataclass
@@ -355,7 +286,8 @@ def run_chaos_rollout(
 ):
     """A configuration rollout under churn (faults + restarts).
 
-    Builds an ``endbox_sgx`` deployment, connects all tunnels, arms a
+    Builds an ``endbox_sgx`` deployment from a
+    :class:`~repro.fleet.DeploymentSpec`, connects all tunnels, arms a
     :class:`~repro.faults.plan.FaultPlan` (``plan``, or
     :func:`default_chaos_plan`), then publishes two configuration
     versions while the faults play out: version 2 at +1.0 s with an
@@ -368,16 +300,18 @@ def run_chaos_rollout(
     converges to version 3, and the server admits **zero** stale-version
     data packets after the relevant grace deadline.
     """
-    deployment = build_deployment(
-        n_clients=n_clients,
+    from repro.fleet import DeploymentSpec
+
+    deployment = DeploymentSpec(
         setup="endbox_sgx",
         use_case=use_case,
+        clients=n_clients,
         ping_interval=ping_interval,
         charge_cpu=charge_cpu,
-        seed=seed,
-    )
+        telemetry_recording=True,
+        seed=seed.decode("latin-1"),
+    ).build()
     sim = deployment.sim
-    sim.telemetry.recording = True
 
     # importing lazily keeps repro.core importable without repro.faults
     # (and avoids the module-level cycle: faults.injector imports
@@ -401,7 +335,7 @@ def run_chaos_rollout(
     injector = FaultInjector.from_deployment(deployment)
     injector.arm(plan if plan is not None else default_chaos_plan(n_clients))
 
-    config, rules = _use_case_configs(use_case, server_side=False)
+    config, rules = use_case_configs(use_case, server_side=False)
     target_version = 3
 
     def publish_at(delay: float, version: int, grace_s: float):
@@ -431,105 +365,3 @@ def run_chaos_rollout(
         timeline=list(injector.timeline),
         trace_digest=trace_digest(sim.telemetry),
     )
-
-
-def _install_switch_acl(topo: StarTopology, deployment: EndBoxDeployment) -> None:
-    """The managed network's static firewall (§V-A, bypass defence).
-
-    Traffic entering the switch from a *client* port may only reach the
-    VPN gateway or the (public) configuration server — everything else,
-    including spoofed tunnel sources, is dropped in the fabric.
-    """
-    switch = topo.switch
-    client_ports = set()
-    for host in deployment.client_hosts:
-        nic = host.stack.interfaces[0]
-        client_ports.add(id(switch._host_routes[nic.address]))
-    allowed_ports = {id(switch._host_routes[deployment.server_host.stack.interfaces[0].address])}
-    if deployment.config_server is not None:
-        config_nic = deployment.config_server.host.stack.interfaces[0]
-        allowed_ports.add(id(switch._host_routes[config_nic.address]))
-
-    def vpn_only_acl(frame: bytes, ingress, egress) -> bool:
-        if ingress is None or id(ingress) not in client_ports:
-            return True
-        return id(egress) in allowed_ports
-
-    switch.acls.append(vpn_only_acl)
-
-
-def _install_vpn_only_firewall(host: Host) -> None:
-    """The managed network's static firewall: only tunnel traffic enters.
-
-    Internal hosts accept packets whose source is inside the VPN subnet
-    (decrypted by the EndBox server) or the infrastructure subnet used
-    by servers themselves; anything else — e.g. a client trying to
-    bypass its middlebox by sending directly — is dropped (§V-A).
-    """
-    tunnel = IPv4Network(TUNNEL_NET)
-    infra = IPv4Network("10.0.0.0/24")
-
-    def firewall(packet):
-        if packet.src in tunnel or packet.src in infra:
-            return packet
-        return None
-
-    host.stack.ingress_hooks.append(firewall)
-
-
-class _ClickAttachedServer(OpenVpnServer):
-    """OpenVPN+Click: one server-side Click instance per session."""
-
-    def __init__(self, *args, use_case: str = "NOP", **kwargs) -> None:
-        self._use_case = use_case
-        super().__init__(*args, **kwargs)
-        config, rules = _use_case_configs(use_case, server_side=True)
-        self._click_config = config
-        self._ruleset = (
-            parse_rules(rules, variables={"HOME_NET": "10.0.0.0/8", "EXTERNAL_NET": "any"})
-            if rules
-            else []
-        )
-
-    def on_session_created(self, session) -> None:
-        ledger = CostLedger()
-        context = {
-            "ruleset": self._ruleset,
-            "clock": lambda: self.sim.now,
-            "oversubscription": self.oversubscription,
-        }
-        router = Router(self._click_config, self.model, ledger, context)
-        session.middlebox = (router, ledger)
-
-    def session_packet_hook(self, session, packet, inbound: bool):
-        if self.sim.now < getattr(self, "_swap_until", 0.0):
-            # vanilla Click hot-swap in progress: the packet path is down
-            return False, packet, self.model.vpn_server_fixed
-        return super().session_packet_hook(session, packet, inbound)
-
-    def reconfigure(self, new_config: str) -> float:
-        """Hot-swap every per-session Click instance (vanilla mechanism).
-
-        Returns the simulated swap duration; packets arriving within it
-        are dropped (Fig 11 / Table II's vanilla baseline, including the
-        FromDevice/ToDevice file-descriptor setup EndBox avoids).
-        """
-        swap_s = (
-            self.model.click_hotswap_fixed
-            + len(new_config) * self.model.click_parse_per_byte
-            + self.model.click_device_setup
-        )
-        self._click_config = new_config
-        for session in self.sessions_by_peer.values():
-            if session.middlebox is not None:
-                router, ledger = session.middlebox
-                new_router = Router(
-                    new_config, self.model, ledger, dict(router.context)
-                )
-                for name, element in new_router.elements.items():
-                    old = router.elements.get(name)
-                    if old is not None and type(old) is type(element):
-                        element.take_state(old)
-                session.middlebox = (new_router, ledger)
-        self._swap_until = self.sim.now + swap_s
-        return swap_s

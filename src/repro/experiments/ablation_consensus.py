@@ -30,7 +30,7 @@ from typing import List, Sequence, Tuple
 
 from repro.click import configs as click_configs
 from repro.consensus import EttmConfigManager
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table
 from repro.netsim import StarTopology
 from repro.netsim.host import class_a_host
@@ -79,17 +79,17 @@ def _render(result: ExperimentResult) -> str:
 # ----------------------------------------------------------------------
 # EndBox side
 # ----------------------------------------------------------------------
-def _endbox_world(n_clients: int, seed: bytes):
-    world = build_deployment(
-        n_clients=n_clients, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.25
-    )
+def _endbox_world(n_clients: int, seed: str):
+    world = DeploymentSpec(
+        clients=n_clients, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.25
+    ).build()
     for host, latency in zip(world.client_hosts, _wan_latencies(n_clients)):
         host.stack.interfaces[0].link.latency_s = latency  # remote employees
     world.connect_all(until=30.0)
     return world
 
 
-def _endbox_rollout(n_clients: int, seed: bytes) -> Tuple[float, int]:
+def _endbox_rollout(n_clients: int, seed: str) -> Tuple[float, int]:
     world = _endbox_world(n_clients, seed)
     bundle = world.publisher.build_bundle(2, click_configs.firewall_config(), encrypt=True)
     started = world.sim.now
@@ -156,7 +156,7 @@ def _paxos_duel(n_clients: int = 20) -> Tuple[int, int]:
 
 
 # ----------------------------------------------------------------------
-def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-consensus") -> ExperimentResult:
+def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: str = "ablation-consensus") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
         name="ablation-consensus",
@@ -198,9 +198,9 @@ def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: bytes = b"ablation-conse
     result.metadata["offline_paxos_failed"] = box["result"].failed
 
     # EndBox with half the clients never connecting: the online half updates
-    world = build_deployment(
-        n_clients=6, setup="endbox_sgx", use_case="NOP", seed=seed + b"-mob", ping_interval=0.25
-    )
+    world = DeploymentSpec(
+        clients=6, setup="endbox_sgx", use_case="NOP", seed=seed + "-mob", ping_interval=0.25
+    ).build()
     for client in world.clients[:3]:
         client.start()
     world.sim.run(until=10.0)

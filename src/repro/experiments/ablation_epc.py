@@ -20,7 +20,7 @@ from typing import Dict, Sequence
 
 from repro.click import configs as click_configs
 from repro.core.enclave_app import EndBoxEnclave
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table, measure_max_throughput
 from repro.sgx.epc import EPC_SIZE_BYTES
 
@@ -42,7 +42,7 @@ def _render(throughput_mbps: Dict[int, float], paging_fraction: Dict[int, float]
     return format_table(["enclave heap", "pages swapped", "throughput [Mbps]"], rows, title=TITLE)
 
 
-def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-epc") -> ExperimentResult:
+def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: str = "ablation-epc") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
         name="ablation-epc",
@@ -52,9 +52,9 @@ def run(heap_sizes_mb: Sequence[int] = HEAP_SIZES_MB, seed: bytes = b"ablation-e
         series={"throughput_mbps": {}, "paging_fraction": {}},
     )
     for heap_mb in heap_sizes_mb:
-        world = build_deployment(
-            n_clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, with_config_server=False
-        )
+        world = DeploymentSpec(
+            clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, with_config_server=False
+        ).build()
         # rebuild the client's enclave with the requested heap size
         client = world.clients[0]
         endbox = client.endbox

@@ -15,7 +15,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.scenarios import EndBoxDeployment, build_deployment
+from repro.core.scenarios import EndBoxDeployment
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 
 #: display names matching the paper's legends

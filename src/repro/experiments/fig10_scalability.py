@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.costs.model import default_cost_model
 from repro.experiments.common import (
     SETUP_LABELS,
@@ -99,16 +99,16 @@ def _measure_vpn_setup(
     n_clients: int,
     duration: float,
     warmup: float,
-    seed: bytes,
+    seed: str,
 ) -> Tuple[float, float]:
-    world = build_deployment(
-        n_clients=n_clients,
+    world = DeploymentSpec(
+        clients=n_clients,
         setup=setup,
         use_case=use_case,
         seed=seed,
         with_config_server=False,
         ping_interval=5.0,
-    )
+    ).build()
     world.connect_all(until=15.0)
     aggregate, cpu = measure_aggregate_throughput(
         world, n_clients, PER_CLIENT_BPS, PACKET_BYTES, duration=duration, warmup=warmup
@@ -178,7 +178,7 @@ def run_fig10a(
     setups: Sequence[str] = ("vanilla", "endbox_sgx", "vanilla_click", "openvpn_click"),
     duration: float = 0.02,
     warmup: float = 0.012,
-    seed: bytes = b"fig10a",
+    seed: str = "fig10a",
 ) -> ExperimentResult:
     """Run the Fig 10a sweep; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
@@ -211,7 +211,7 @@ def run_fig10b(
     setups: Sequence[str] = ("endbox_sgx", "openvpn_click"),
     duration: float = 0.02,
     warmup: float = 0.012,
-    seed: bytes = b"fig10b",
+    seed: str = "fig10b",
 ) -> ExperimentResult:
     """Run the Fig 10b sweep; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.click import configs as click_configs
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table
 
 PING_INTERVAL = 0.1  # 10 requests per second, as in the paper
@@ -80,10 +80,10 @@ def _ping_series(world, client_host, target, reconfig_time: float):
     return results
 
 
-def _run_endbox(seed: bytes) -> List[Tuple[float, Optional[float]]]:
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="FW", seed=seed, with_config_server=False
-    )
+def _run_endbox(seed: str) -> List[Tuple[float, Optional[float]]]:
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="FW", seed=seed, with_config_server=False
+    ).build()
     world.connect_all()
     client = world.clients[0]
     bundle = world.publisher.build_bundle(2, click_configs.firewall_config(), encrypt=True)
@@ -99,10 +99,10 @@ def _run_endbox(seed: bytes) -> List[Tuple[float, Optional[float]]]:
     return _ping_series(world, client.host, world.internal.address, reconfig_time)
 
 
-def _run_openvpn_click(seed: bytes) -> List[Tuple[float, Optional[float]]]:
-    world = build_deployment(
-        n_clients=1, setup="openvpn_click", use_case="FW", seed=seed, with_config_server=False
-    )
+def _run_openvpn_click(seed: str) -> List[Tuple[float, Optional[float]]]:
+    world = DeploymentSpec(
+        clients=1, setup="openvpn_click", use_case="FW", seed=seed, with_config_server=False
+    ).build()
     world.connect_all()
     client = world.clients[0]
     reconfig_time = world.sim.now + 5.0
@@ -117,7 +117,7 @@ def _run_openvpn_click(seed: bytes) -> List[Tuple[float, Optional[float]]]:
     return _ping_series(world, client.host, world.internal.address, reconfig_time)
 
 
-def run(seed: bytes = b"fig11") -> ExperimentResult:
+def run(seed: str = "fig11") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(name="fig11", title=TITLE, x_label="t [s]", unit="s", paper=PAPER)
     result.series["EndBox"] = _run_endbox(seed)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table
 from repro.http.alexa import alexa_top_pages
 from repro.http.client import HttpClient
@@ -133,14 +133,14 @@ def run(n_pages: int = 60, seed: int = 2018) -> ExperimentResult:
     samples_by_mode: Dict[str, List[float]] = {}
 
     for mode in ("direct", "endbox"):
-        world = build_deployment(
-            n_clients=1,
+        world = DeploymentSpec(
+            clients=1,
             setup="endbox_sgx",
             use_case="NOP",
             with_config_server=False,
             protect_internal=False,
-            seed=b"fig6-" + mode.encode(),
-        )
+            seed="fig6-" + mode,
+        ).build()
         _build_internet(world, pages, rng.child("internet"))
         if mode == "endbox":
             world.connect_all()

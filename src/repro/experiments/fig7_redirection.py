@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table, relative_error
 from repro.netsim.host import class_a_host
 
@@ -74,12 +74,12 @@ def _average_ping(sim, stack, target_addr, count: int = 10) -> float:
     return sum(rtts) / len(rtts)
 
 
-def _measure(method: str, seed: bytes) -> float:
+def _measure(method: str, seed: str) -> float:
     if method == "no redirection":
-        world = build_deployment(
-            n_clients=1, setup="vanilla", use_case="NOP", with_config_server=False,
+        world = DeploymentSpec(
+            clients=1, setup="vanilla", use_case="NOP", with_config_server=False,
             protect_internal=False, seed=seed,
-        )
+        ).build()
         target = class_a_host(world.sim, "external-target")
         world.topo.attach_wan(target, one_way_latency_s=TARGET_ONE_WAY_S)
         # the client pings directly; the VPN is never started
@@ -89,10 +89,10 @@ def _measure(method: str, seed: bytes) -> float:
     setup = {"local redirection": "openvpn_click", "EndBox SGX": "endbox_sgx"}.get(
         method, "openvpn_click"
     )
-    world = build_deployment(
-        n_clients=1, setup=setup, use_case="NOP", with_config_server=False,
+    world = DeploymentSpec(
+        clients=1, setup=setup, use_case="NOP", with_config_server=False,
         protect_internal=False, seed=seed,
-    )
+    ).build()
     target = class_a_host(world.sim, "external-target")
     world.topo.attach_wan(target, one_way_latency_s=TARGET_ONE_WAY_S)
     if method.startswith("AWS"):
@@ -106,7 +106,7 @@ def _measure(method: str, seed: bytes) -> float:
     return _average_ping(world.sim, client.host.stack, target.address)
 
 
-def run(methods: Sequence[str] = METHODS, seed: bytes = b"fig7") -> ExperimentResult:
+def run(methods: Sequence[str] = METHODS, seed: str = "fig7") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     measured = {method: _measure(method, seed) * 1e3 for method in methods}
     return ExperimentResult(

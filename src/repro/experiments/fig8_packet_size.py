@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.costs.calibration import FIG8_PAPER_MBPS
 from repro.experiments.common import SETUP_LABELS, ExperimentResult, measure_max_throughput
 
@@ -39,7 +39,7 @@ def run(
     sizes: Sequence[int] = SIZES,
     setups: Sequence[str] = SETUPS,
     duration: float = 0.08,
-    seed: bytes = b"fig8",
+    seed: str = "fig8",
 ) -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
@@ -53,13 +53,13 @@ def run(
         label = SETUP_LABELS[setup]
         result.series[label] = {}
         for size in sizes:
-            world = build_deployment(
-                n_clients=1,
+            world = DeploymentSpec(
+                clients=1,
                 setup=setup,
                 use_case="NOP",
-                seed=seed + setup.encode(),
+                seed=seed + setup,
                 with_config_server=False,
-            )
+            ).build()
             world.connect_all()
             paper_value = PAPER[label].get(size, 1000.0)
             offered = paper_value * 1e6 * 1.7  # clearly saturating

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import SETUP_LABELS, ExperimentResult, measure_max_throughput
 
 USE_CASES = ("NOP", "LB", "FW", "IDPS", "DDoS")
@@ -29,7 +29,7 @@ def run(
     use_cases: Sequence[str] = USE_CASES,
     setups: Sequence[str] = SETUPS,
     duration: float = 0.08,
-    seed: bytes = b"fig9",
+    seed: str = "fig9",
 ) -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
@@ -43,13 +43,13 @@ def run(
         label = SETUP_LABELS[setup]
         result.series[label] = {}
         for use_case in use_cases:
-            world = build_deployment(
-                n_clients=1,
+            world = DeploymentSpec(
+                clients=1,
                 setup=setup,
                 use_case=use_case,
-                seed=seed + setup.encode(),
+                seed=seed + setup,
                 with_config_server=False,
-            )
+            ).build()
             world.connect_all()
             offered = PAPER[label][use_case] * 1e6 * 1.7
             measured = measure_max_throughput(world, PACKET_BYTES, offered, duration=duration)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table, measure_max_throughput
 
 PACKET_BYTES = 1500
@@ -30,15 +30,15 @@ PAPER = {
 TITLE = "§V-G: optimisation ablations"
 
 
-def _throughput(setup_kwargs: dict, offered: float, seed: bytes) -> float:
-    world = build_deployment(
-        n_clients=1, with_config_server=False, seed=seed, **setup_kwargs
-    )
+def _throughput(setup_kwargs: dict, offered: float, seed: str) -> float:
+    world = DeploymentSpec(
+        clients=1, with_config_server=False, seed=seed, **setup_kwargs
+    ).build()
     world.connect_all()
     return measure_max_throughput(world, PACKET_BYTES, offered, duration=0.06)
 
 
-def run_transition_batching(seed: bytes = b"opt1") -> Tuple[float, float, float]:
+def run_transition_batching(seed: str = "opt1") -> Tuple[float, float, float]:
     """Returns (unoptimised bps, optimised bps, improvement fraction)."""
     optimised = _throughput(
         dict(setup="endbox_sgx", use_case="NOP", single_ecall_optimization=True), 900e6, seed
@@ -49,7 +49,7 @@ def run_transition_batching(seed: bytes = b"opt1") -> Tuple[float, float, float]
     return unoptimised, optimised, optimised / unoptimised - 1.0
 
 
-def run_burst_batching(seed: bytes = b"opt1b") -> Tuple[float, float, float, float]:
+def run_burst_batching(seed: str = "opt1b") -> Tuple[float, float, float, float]:
     """One ecall per packet vs one ecall per burst (real code path).
 
     The batched arm runs the actual ``ecall_batch`` data plane: the
@@ -64,15 +64,15 @@ def run_burst_batching(seed: bytes = b"opt1b") -> Tuple[float, float, float, flo
     single = _throughput(
         dict(setup="endbox_sgx", use_case="NOP", single_ecall_optimization=True), 900e6, seed
     )
-    world = build_deployment(
-        n_clients=1,
+    world = DeploymentSpec(
+        clients=1,
         with_config_server=False,
         seed=seed,
         setup="endbox_sgx",
         use_case="NOP",
         single_ecall_optimization=True,
         ecall_batching=True,
-    )
+    ).build()
     world.connect_all()
     batched = measure_max_throughput(world, PACKET_BYTES, 900e6, duration=0.06)
     client = world.clients[0]
@@ -82,7 +82,7 @@ def run_burst_batching(seed: bytes = b"opt1b") -> Tuple[float, float, float, flo
     return single, batched, batched / single - 1.0, packets_per_crossing
 
 
-def run_isp_no_encryption(seed: bytes = b"opt2") -> Tuple[float, float, float]:
+def run_isp_no_encryption(seed: str = "opt2") -> Tuple[float, float, float]:
     """Returns (encrypted bps, integrity-only bps, improvement fraction)."""
     encrypted = _throughput(
         dict(setup="endbox_sgx", use_case="NOP", scenario="isp", isp_no_encryption=False),
@@ -97,16 +97,16 @@ def run_isp_no_encryption(seed: bytes = b"opt2") -> Tuple[float, float, float]:
     return encrypted, mac_only, mac_only / encrypted - 1.0
 
 
-def _c2c_latency(c2c_flagging: bool, seed: bytes, pings: int = 30) -> float:
+def _c2c_latency(c2c_flagging: bool, seed: str, pings: int = 30) -> float:
     """Average client-to-client ping RTT under the IDPS use case."""
-    world = build_deployment(
-        n_clients=2,
+    world = DeploymentSpec(
+        clients=2,
         setup="endbox_sgx",
         use_case="IDPS",
         c2c_flagging=c2c_flagging,
         with_config_server=False,
         seed=seed,
-    )
+    ).build()
     world.connect_all()
     a, b = world.clients
     rtts: List[float] = []
@@ -131,19 +131,19 @@ def _c2c_latency(c2c_flagging: bool, seed: bytes, pings: int = 30) -> float:
     return sum(rtts[1:]) / len(rtts[1:])
 
 
-def run_c2c_flagging(seed: bytes = b"opt3") -> Tuple[float, float, float]:
+def run_c2c_flagging(seed: str = "opt3") -> Tuple[float, float, float]:
     """Returns (RTT without flagging, with flagging, latency reduction)."""
     without = _c2c_latency(False, seed)
     with_flag = _c2c_latency(True, seed)
     return without, with_flag, 1.0 - with_flag / without
 
 
-def run(seed: bytes = b"opts") -> ExperimentResult:
+def run(seed: str = "opts") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     values = {}
     rows: List[Tuple[str, str, str]] = []  # (optimisation, paper, measured)
 
-    unopt, opt, gain = run_transition_batching(seed + b"1")
+    unopt, opt, gain = run_transition_batching(seed + "1")
     values["batching_gain"] = gain
     rows.append(
         (
@@ -153,7 +153,7 @@ def run(seed: bytes = b"opts") -> ExperimentResult:
         )
     )
 
-    single, burst, burst_gain, per_crossing = run_burst_batching(seed + b"1b")
+    single, burst, burst_gain, per_crossing = run_burst_batching(seed + "1b")
     values["burst_gain"] = burst_gain
     values["burst_packets_per_crossing"] = per_crossing
     rows.append(
@@ -165,7 +165,7 @@ def run(seed: bytes = b"opts") -> ExperimentResult:
         )
     )
 
-    enc, mac, gain = run_isp_no_encryption(seed + b"2")
+    enc, mac, gain = run_isp_no_encryption(seed + "2")
     values["isp_gain"] = gain
     rows.append(
         (
@@ -175,7 +175,7 @@ def run(seed: bytes = b"opts") -> ExperimentResult:
         )
     )
 
-    without, with_flag, reduction = run_c2c_flagging(seed + b"3")
+    without, with_flag, reduction = run_c2c_flagging(seed + "3")
     values["c2c_reduction"] = reduction
     rows.append(
         (

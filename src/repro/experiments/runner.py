@@ -105,6 +105,15 @@ def _run_ablation_consensus(quick: bool) -> List[ExperimentResult]:
     return [ablation_consensus.run(fleet_sizes=sizes)]
 
 
+def _run_fleet_rollout(quick: bool) -> List[ExperimentResult]:
+    from repro.experiments import fleet_rollout
+
+    spec = fleet_rollout.fleet_rollout_spec(
+        n_clients=600 if quick else 10_000, gateways=4
+    )
+    return [fleet_rollout.run_fleet_rollout(spec=spec)]
+
+
 def _run_ablation_epc(quick: bool) -> List[ExperimentResult]:
     from repro.experiments import ablation_epc
 
@@ -124,6 +133,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], List[ExperimentResult]]] = {
     "optimizations": _run_optimizations,
     "ablation-consensus": _run_ablation_consensus,
     "ablation-epc": _run_ablation_epc,
+    "fleet-rollout": _run_fleet_rollout,
 }
 
 

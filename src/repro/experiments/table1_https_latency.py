@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.click import configs as click_configs
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table, relative_error
 from repro.http.client import HttpClient
 from repro.http.server import HttpServer
@@ -57,16 +57,16 @@ def _render(series: Dict[str, Dict[int, float]]) -> str:
     return "\n\n".join(blocks)
 
 
-def _measure(config: str, sizes: Sequence[int], repeats: int, seed: bytes) -> Dict[int, float]:
+def _measure(config: str, sizes: Sequence[int], repeats: int, seed: str) -> Dict[int, float]:
     with_decryption = config == "EndBox OpenSSL w/ dec"
     custom_library = config != "vanilla OpenSSL w/o dec"
-    world = build_deployment(
-        n_clients=1,
+    world = DeploymentSpec(
+        clients=1,
         setup="endbox_sgx",
         use_case="NOP",
         with_config_server=False,
         seed=seed,
-    )
+    ).build()
     client = world.clients[0]
     if with_decryption:
         # swap the enclave Click graph for the TLS-inspection pipeline
@@ -118,7 +118,7 @@ def _measure(config: str, sizes: Sequence[int], repeats: int, seed: bytes) -> Di
     return latencies
 
 
-def run(sizes: Sequence[int] = SIZES, repeats: int = 5, seed: bytes = b"table1") -> ExperimentResult:
+def run(sizes: Sequence[int] = SIZES, repeats: int = 5, seed: str = "table1") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     series = {}
     for config in CONFIGS:

@@ -14,7 +14,7 @@ from typing import Dict
 
 from repro.click import configs as click_configs
 from repro.click.hotswap import HotSwapManager
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.experiments.common import ExperimentResult, format_table, relative_error
 
 PAPER_MS: Dict[str, Dict[str, float]] = {
@@ -63,7 +63,7 @@ def _render(series: Dict[str, Dict[str, float]], ratio: float) -> str:
     )
 
 
-def run(seed: bytes = b"table2") -> ExperimentResult:
+def run(seed: str = "table2") -> ExperimentResult:
     """Run the experiment; returns an :class:`ExperimentResult`."""
     result = ExperimentResult(
         name="table2",
@@ -74,9 +74,9 @@ def run(seed: bytes = b"table2") -> ExperimentResult:
     )
 
     # --- vanilla Click: in-process hot-swap with device setup ----------
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.2
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", seed=seed, ping_interval=0.2
+    ).build()
     vanilla = HotSwapManager(click_configs.MINIMAL_CONFIG, world.model, in_memory=False)
     timings = vanilla.hotswap(click_configs.MINIMAL_CONFIG)
     result.series["vanilla Click"] = {

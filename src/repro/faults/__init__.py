@@ -1,8 +1,9 @@
 """repro.faults: deterministic, sim-clock-driven fault injection.
 
 A :class:`FaultPlan` is a declarative schedule of fault events (link
-loss, partitions, latency spikes, VPN-server restarts, client crashes
-with sealed-state restore, config-server outages, EPC pressure); a
+loss, partitions, latency spikes, VPN-server restarts, rolling fleet
+gateway restarts, client crashes with sealed-state restore,
+config-server outages, EPC pressure); a
 :class:`FaultInjector` applies it to a simulated world through the
 components' public fault hooks.  No randomness, no wall clock: the same
 seed + the same plan always reproduces the byte-identical telemetry
@@ -29,6 +30,7 @@ from repro.faults.plan import (
     FaultEvent,
     FaultPlan,
     FaultPlanError,
+    GatewayRestart,
     LatencySpike,
     LinkLoss,
     LinkPartition,
@@ -46,6 +48,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "GatewayRestart",
     "LatencySpike",
     "LinkLoss",
     "LinkPartition",

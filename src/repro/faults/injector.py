@@ -29,6 +29,7 @@ from repro.faults.plan import (
     FaultEvent,
     FaultPlan,
     FaultPlanError,
+    GatewayRestart,
     LatencySpike,
     LinkLoss,
     LinkPartition,
@@ -52,6 +53,9 @@ SPAN_NAMES: Dict[str, str] = {
     ),
     ServerRestart.kind: _names.register(
         "faults.server.restart", "span", "seconds", "VPN-server outage window"
+    ),
+    GatewayRestart.kind: _names.register(
+        "faults.gateway.restart", "span", "seconds", "fleet gateway drain + outage window"
     ),
     ClientCrash.kind: _names.register(
         "faults.client.crash", "span", "seconds", "client crash/restore window"
@@ -107,6 +111,8 @@ class FaultInjector:
         platforms: Sequence[Any] = (),
         storages: Sequence[Any] = (),
         registry: Optional[Registry] = None,
+        gateways: Sequence[Any] = (),
+        fleet=None,
     ) -> None:
         self.sim = sim
         self.topo = topo
@@ -116,6 +122,12 @@ class FaultInjector:
         self.config_server = config_server
         self.platforms = list(platforms)
         self.storages = list(storages)
+        #: fleet gateways for GatewayRestart events; defaults to the
+        #: single wired server when no explicit fleet is given
+        self.gateways = list(gateways) if gateways else ([server] if server else [])
+        #: object with on_gateway_outage/on_gateway_restored hooks (a
+        #: FleetDeployment, or any duck-typed drain coordinator)
+        self.fleet = fleet
         self.registry = registry if registry is not None else sim.telemetry
         #: plain-data record of applied events: {"at", "kind", ...}.
         self.timeline: List[Dict[str, Any]] = []
@@ -125,7 +137,13 @@ class FaultInjector:
 
     @classmethod
     def from_deployment(cls, deployment, registry: Optional[Registry] = None) -> "FaultInjector":
-        """Wire an injector to every target a deployment exposes."""
+        """Wire an injector to every target a deployment exposes.
+
+        Fleet deployments additionally wire their gateway list and the
+        drain hooks (``on_gateway_outage``/``on_gateway_restored``), so
+        ``GatewayRestart`` events migrate clients instead of dropping
+        them.
+        """
         return cls(
             sim=deployment.sim,
             topo=deployment.topo,
@@ -135,6 +153,8 @@ class FaultInjector:
             platforms=deployment.platforms,
             storages=deployment.storages,
             registry=registry,
+            gateways=getattr(deployment, "gateways", ()),
+            fleet=deployment if hasattr(deployment, "on_gateway_outage") else None,
         )
 
     # ------------------------------------------------------------------
@@ -164,6 +184,12 @@ class FaultInjector:
         elif isinstance(event, ServerRestart):
             if self.server is None:
                 raise FaultInjectionError("plan restarts the VPN server, but none is wired")
+        elif isinstance(event, GatewayRestart):
+            if not 0 <= event.gateway < len(self.gateways):
+                raise FaultInjectionError(
+                    f"no gateway #{event.gateway} in this world "
+                    f"({len(self.gateways)} wired)"
+                )
         elif isinstance(event, ClientCrash):
             self._client(event.client)
             if not (event.client < len(self.platforms) and event.client < len(self.storages)):
@@ -225,6 +251,8 @@ class FaultInjector:
                 yield from self._apply_latency(event)
             elif isinstance(event, ServerRestart):
                 yield from self._apply_server_restart(event)
+            elif isinstance(event, GatewayRestart):
+                yield from self._apply_gateway_restart(event)
             elif isinstance(event, ClientCrash):
                 yield from self._apply_client_crash(event)
             elif isinstance(event, ConfigServerOutage):
@@ -261,6 +289,24 @@ class FaultInjector:
         self.server.begin_outage()
         yield self.sim.timeout(event.outage_s)
         self.server.end_outage()
+
+    def _apply_gateway_restart(self, event: GatewayRestart):
+        """Rolling-restart step: drain, outage window, restore, re-home.
+
+        When a fleet coordinator is wired its drain hook runs *before*
+        the gateway goes down — a planned restart migrates the clients
+        away first (sessions travel as exported records) — and its
+        restore hook runs after the gateway is back.  Without a fleet
+        this degrades to a plain server restart of that gateway.
+        """
+        gateway = self.gateways[event.gateway]
+        if self.fleet is not None:
+            self.fleet.on_gateway_outage(event.gateway)
+        gateway.begin_outage()
+        yield self.sim.timeout(event.outage_s)
+        gateway.end_outage()
+        if self.fleet is not None:
+            self.fleet.on_gateway_restored(event.gateway)
 
     def _apply_client_crash(self, event: ClientCrash):
         """Crash a client, destroy its enclave, restore from sealed state.

@@ -140,6 +140,32 @@ class ServerRestart(FaultEvent):
 
 
 @dataclass(frozen=True)
+class GatewayRestart(FaultEvent):
+    """Rolling-restart step for one fleet gateway (``repro.fleet``).
+
+    The fleet drains the gateway first (clients migrate away with their
+    session records), the gateway loses its session tables and stays
+    down for ``outage_s``, then comes back and the fleet re-homes the
+    drained clients.  Against a single-gateway world, ``gateway=0``
+    behaves like :class:`ServerRestart` with no clients to drain to.
+    """
+
+    kind: ClassVar[str] = "gateway_restart"
+
+    gateway: int = 0
+    outage_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the gateway index and outage window."""
+        super().__post_init__()
+        if self.gateway < 0:
+            raise FaultPlanError(
+                f"GatewayRestart: gateway index must be >= 0, got {self.gateway}"
+            )
+        self._check_duration(self.outage_s)
+
+
+@dataclass(frozen=True)
 class ClientCrash(FaultEvent):
     """Client crash + restart with sealed-state restore (§III-C).
 
@@ -208,6 +234,7 @@ EVENT_KINDS: Dict[str, Type[FaultEvent]] = {
         LinkPartition,
         LatencySpike,
         ServerRestart,
+        GatewayRestart,
         ClientCrash,
         ConfigServerOutage,
         EpcPressure,

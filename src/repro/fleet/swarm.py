@@ -1,0 +1,341 @@
+"""Flow-level fleet scenario: 10k+ clients across a rolling gateway fleet.
+
+:mod:`repro.netsim.swarm` models thousands of identical clients as one
+flow-level source per shard; this module adds the *fleet* side for the
+sharded runner (:mod:`repro.sim.parallel`): every gateway of a
+multi-gateway fleet lives on shard 0 behind a :class:`FleetDispatcher`
+that replays, per packet, exactly the decisions the packet-granularity
+:class:`~repro.fleet.deployment.FleetDeployment` makes per session:
+
+* **balancing** — the packet's home gateway comes from the same
+  :mod:`repro.fleet.balancer` policy (hash ring by default) keyed by the
+  stable ``"client-<gid>"`` identity;
+* **rolling restarts** — gateway down-windows come from a declarative
+  :class:`~repro.faults.FaultPlan` of
+  :class:`~repro.faults.GatewayRestart` events; a packet whose home
+  gateway is inside its outage window fails over along the ring
+  (``fleet.balancer.remaps``) and its client migrates once with a
+  sealed-state session resume (``fleet.balancer.migrations`` /
+  ``fleet.gateway.sessions_resumed``), exactly the counters the
+  packet-granularity migration path emits;
+* **grace rollouts (§III-E)** — one fleet-wide config announcement with
+  a grace deadline; per-client adoption times are a deterministic
+  function of the global client id, a configurable sliver of stragglers
+  never adopts, and any packet still on the stale version after the
+  deadline is rejected (``fleet.gateway.stale_rejected``).  The
+  ``fleet.gateway.stale_admitted`` tripwire counts stale packets that
+  *were* admitted after the deadline — it must stay 0.
+
+Everything is counters (no trace records), all fleet state lives on
+shard 0, and cross-shard frames arrive in the fabric's canonical order,
+so serial / inline / fork runs of the same parameters merge to the
+byte-identical trace digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, GatewayRestart
+from repro.fleet.balancer import make_balancer
+from repro.fleet.spec import BALANCER_POLICIES
+from repro.netsim.swarm import (
+    DELIVERED_BYTES_NAME,
+    DELIVERED_NAME,
+    GATEWAY_STEPS_NAME,
+    WINDOW_BYTES_NAME,
+    ClientSwarmSource,
+)
+from repro.sim import SimulationError, Simulator
+from repro.sim.parallel import (
+    CrossShardFabric,
+    ShardContext,
+    ShardPlan,
+    ShardRunResult,
+    run_serial,
+    run_sharded,
+)
+from repro.telemetry.registry import Registry
+
+REMAPS_NAME = "fleet.balancer.remaps"
+MIGRATIONS_NAME = "fleet.balancer.migrations"
+SESSIONS_RESUMED_NAME = "fleet.gateway.sessions_resumed"
+STALE_REJECTED_NAME = "fleet.gateway.stale_rejected"
+STALE_ADMITTED_NAME = "fleet.gateway.stale_admitted"
+
+
+def _channel(shard: int) -> str:
+    """Cross-shard channel carrying one client shard's swarm traffic."""
+    return f"fleet.shard{shard}"
+
+
+@dataclass(frozen=True)
+class FleetSwarmParams:
+    """One fleet-rollout configuration (identical for every runner mode).
+
+    The rollout model: version ``2`` is announced fleet-wide at
+    ``announce_at_s`` with ``grace_s`` of grace.  Client ``gid`` adopts
+    it at ``announce_at_s + adopt_base_s + (gid % adopt_spread_mod) *
+    adopt_step_s`` — unless ``gid % stale_every == 0``, in which case it
+    never adopts and its traffic is rejected once the deadline passes.
+    Gateway outages come from ``fault_plan`` (``GatewayRestart`` events
+    only; times are absolute simulation seconds here, since the swarm
+    world starts at ``t=0``).
+    """
+
+    n_clients: int = 10_000
+    n_gateways: int = 4
+    balancer: str = "hash_ring"
+    per_client_bps: float = 2e6
+    packet_bytes: int = 1500
+    client_steps: int = 3  # encrypt, encapsulate, send
+    gateway_steps: int = 2  # decrypt+check, forward
+    lookahead_s: float = 200e-6
+    horizon_s: float = 0.05
+    warmup_s: float = 0.004
+    announce_at_s: float = 0.005
+    grace_s: float = 0.02
+    adopt_base_s: float = 0.002
+    adopt_spread_mod: int = 50
+    adopt_step_s: float = 0.0002
+    stale_every: int = 97  # 0 disables stragglers
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        """Validate sizes, rates and the rollout timeline."""
+        if self.n_clients < 1:
+            raise SimulationError(f"fleet swarm needs clients, got {self.n_clients}")
+        if self.n_gateways < 1:
+            raise SimulationError(f"fleet swarm needs gateways, got {self.n_gateways}")
+        if self.balancer not in BALANCER_POLICIES:
+            raise SimulationError(
+                f"unknown balancer policy {self.balancer!r}; expected one of {BALANCER_POLICIES}"
+            )
+        for name in ("per_client_bps", "lookahead_s", "horizon_s", "grace_s"):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.packet_bytes < 1:
+            raise SimulationError(f"packet_bytes must be >= 1, got {self.packet_bytes}")
+        for name in ("warmup_s", "announce_at_s", "adopt_base_s", "adopt_step_s"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.adopt_spread_mod < 1:
+            raise SimulationError(
+                f"adopt_spread_mod must be >= 1, got {self.adopt_spread_mod}"
+            )
+        if self.stale_every < 0:
+            raise SimulationError(f"stale_every must be >= 0, got {self.stale_every}")
+        if self.fault_plan is not None:
+            for event in self.fault_plan:
+                if not isinstance(event, GatewayRestart):
+                    raise SimulationError(
+                        f"fleet swarm plans take GatewayRestart events only, got {event.kind!r}"
+                    )
+                if event.gateway >= self.n_gateways:
+                    raise SimulationError(
+                        f"GatewayRestart targets gateway {event.gateway} "
+                        f"but the fleet has {self.n_gateways}"
+                    )
+
+    @property
+    def latency_s(self) -> float:
+        """Client→gateway one-way latency; ``2×lookahead`` clears every
+        window bound (see the lookahead-safety note in ``netsim.swarm``)."""
+        return 2 * self.lookahead_s
+
+    @property
+    def measure_s(self) -> float:
+        """Length of the post-warmup throughput window."""
+        return self.horizon_s - self.warmup_s
+
+    @property
+    def grace_deadline_s(self) -> float:
+        """Absolute time after which stale-version traffic is rejected."""
+        return self.announce_at_s + self.grace_s
+
+    def adopt_at_s(self, gid: int) -> Optional[float]:
+        """When client ``gid`` adopts the announced version (None = never)."""
+        if self.stale_every and gid % self.stale_every == 0:
+            return None
+        return self.announce_at_s + self.adopt_base_s + (gid % self.adopt_spread_mod) * self.adopt_step_s
+
+
+class FleetDispatcher:
+    """Shard-0 fleet: every gateway's per-packet admission + balancing.
+
+    Binds one batched ingress per client shard; each injected batch is
+    walked packet-by-packet in the fabric's canonical order, so the
+    per-client state here (current gateway after migrations) evolves
+    identically in serial, inline and fork runs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: CrossShardFabric,
+        plan: ShardPlan,
+        params: FleetSwarmParams,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.balancer = make_balancer(params.balancer, params.n_gateways)
+        #: home gateway per global client id (the ring's steady state)
+        self.assignment: List[int] = [
+            self.balancer.pick(f"client-{gid}") for gid in range(params.n_clients)
+        ]
+        #: gateway currently holding each client's session
+        self.current: List[int] = list(self.assignment)
+        self.per_gateway_delivered: List[int] = [0] * params.n_gateways
+        self._fallback_memo: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        #: gateway -> sorted outage windows [(start, end)], from the plan
+        self._outages: Dict[int, List[Tuple[float, float]]] = {}
+        for event in params.fault_plan or ():
+            self._outages.setdefault(event.gateway, []).append(
+                (event.at, event.at + event.outage_s)
+            )
+        for windows in self._outages.values():
+            windows.sort()
+        registry = Registry.current()
+        self._tm_delivered = registry.counter(DELIVERED_NAME)
+        self._tm_delivered_bytes = registry.counter(DELIVERED_BYTES_NAME)
+        self._tm_window_bytes = registry.counter(WINDOW_BYTES_NAME)
+        self._tm_steps = registry.counter(GATEWAY_STEPS_NAME)
+        self._tm_remaps = registry.counter(REMAPS_NAME)
+        self._tm_migrations = registry.counter(MIGRATIONS_NAME)
+        self._tm_resumed = registry.counter(SESSIONS_RESUMED_NAME)
+        self._tm_stale_rejected = registry.counter(STALE_REJECTED_NAME)
+        # the tripwire is created eagerly so a 0 shows up in every digest
+        self._tm_stale_admitted = registry.counter(STALE_ADMITTED_NAME)
+        for shard in sorted(set(plan.client_shards)):
+            clients = plan.clients_on(shard)
+            if not clients:
+                continue
+            fabric.bind_ingress(_channel(shard), self._binder(clients[0]), batched=True)
+
+    def _binder(self, base: int):
+        """Batch callback translating shard-local to global client ids."""
+
+        def receive(frames) -> None:
+            self._on_batch(base, frames)
+
+        return receive
+
+    def _down_at(self, t: float) -> FrozenSet[int]:
+        """Gateways inside an outage window at simulated time ``t``."""
+        down = [
+            gateway
+            for gateway, windows in self._outages.items()
+            if any(start <= t < end for start, end in windows)
+        ]
+        return frozenset(down)
+
+    def _failover(self, gid: int, down: FrozenSet[int]) -> int:
+        """Ring failover target for ``gid`` while ``down`` is out (memoized)."""
+        key = (gid, down)
+        target = self._fallback_memo.get(key)
+        if target is None:
+            target = self.balancer.fallback(f"client-{gid}", down)
+            self._fallback_memo[key] = target
+        return target
+
+    def _on_batch(self, base: int, frames) -> None:
+        params = self.params
+        deadline = params.grace_deadline_s
+        warmup = params.warmup_s
+        steps = params.gateway_steps
+        delivered = 0
+        total_bytes = 0
+        window_bytes = 0
+        work = 0
+        stale_rejected = 0
+        stale_admitted = 0
+        remaps = 0
+        migrations = 0
+        for deliver_at, _emit_index, payload in frames:
+            local, nbytes = payload
+            gid = base + local
+            # §III-E currency check: stale only once the deadline passed
+            current_version = True
+            if deliver_at >= deadline:
+                adopt_at = params.adopt_at_s(gid)
+                current_version = adopt_at is not None and deliver_at >= adopt_at
+            if not current_version:
+                stale_rejected += 1
+                continue
+            down = self._down_at(deliver_at) if self._outages else frozenset()
+            home = self.assignment[gid]
+            target = self._failover(gid, down) if home in down else home
+            if target in down:
+                continue  # overlapping outages left nowhere to land; drop
+            if target != self.current[gid]:
+                # the client migrates: sealed-state export/resume, counted
+                # with the same telemetry the packet-granularity path emits
+                remaps += 1
+                migrations += 1
+                self.current[gid] = target
+            work += steps
+            delivered += 1
+            total_bytes += nbytes
+            self.per_gateway_delivered[target] += 1
+            if deliver_at >= warmup:
+                window_bytes += nbytes
+            if not current_version:  # pragma: no cover - tripwire
+                stale_admitted += 1
+        self._tm_delivered.inc(delivered)
+        self._tm_delivered_bytes.inc(total_bytes)
+        if window_bytes:
+            self._tm_window_bytes.inc(window_bytes)
+        self._tm_steps.inc(work)
+        if stale_rejected:
+            self._tm_stale_rejected.inc(stale_rejected)
+        if stale_admitted:  # pragma: no cover - tripwire
+            self._tm_stale_admitted.inc(stale_admitted)
+        if remaps:
+            self._tm_remaps.inc(remaps)
+            self._tm_migrations.inc(migrations)
+            self._tm_resumed.inc(migrations)
+
+
+def make_fleet_builder(params: FleetSwarmParams):
+    """Builder closure for the sharded runner (also used serially)."""
+
+    def build(ctx: ShardContext) -> None:
+        plan = ctx.plan
+        if ctx.is_gateway:
+            FleetDispatcher(ctx.sim, ctx.fabric, plan, params)
+        if ctx.clients:
+            egress = ctx.fabric.open_egress(_channel(ctx.shard_index), 0, batched=True)
+            ClientSwarmSource(
+                ctx.sim,
+                egress,
+                n_clients=len(ctx.clients),
+                per_client_bps=params.per_client_bps,
+                packet_bytes=params.packet_bytes,
+                pipeline_steps=params.client_steps,
+                latency_s=params.latency_s,
+                tick_s=plan.lookahead_s,
+            ).start()
+
+    return build
+
+
+def run_fleet_swarm(
+    params: FleetSwarmParams, n_shards: int, mode: str = "auto"
+) -> ShardRunResult:
+    """Run the fleet rollout scenario sharded ``n_shards`` ways.
+
+    ``mode="serial"`` runs the identical builder in one plain
+    :class:`Simulator` via :func:`run_serial` — the digest reference the
+    inline and fork runs must reproduce byte-for-byte.
+    """
+    plan = ShardPlan.partition(params.n_clients, n_shards, params.lookahead_s)
+    builder = make_fleet_builder(params)
+    if mode == "serial":
+        return run_serial(builder, plan, params.horizon_s)
+    return run_sharded(builder, plan, params.horizon_s, mode=mode)
+
+
+def fleet_goodput_bps(result: ShardRunResult, params: FleetSwarmParams) -> float:
+    """Post-warmup aggregate goodput admitted across the whole fleet."""
+    return result.counter(WINDOW_BYTES_NAME) * 8 / params.measure_s

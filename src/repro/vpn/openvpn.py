@@ -165,6 +165,13 @@ class OpenVpnServer:
         _registry = Registry.current()
         self._tm_ctrl_packets = _registry.counter("vpn.control.packets_sent")
         self._tm_ctrl_bytes = _registry.counter("vpn.control.bytes_sent")
+        self._tm_sessions_resumed = _registry.counter("fleet.gateway.sessions_resumed")
+        self._tm_stale_rejected = _registry.counter("fleet.gateway.stale_rejected")
+        #: exported session records awaiting adoption (fleet migration),
+        #: keyed by the client certificate subject; consumed at the
+        #: migrated client's next handshake
+        self._resumed_sessions: Dict[str, dict] = {}
+        self.sessions_resumed = 0
         # EndBox configuration enforcement state (§III-E)
         self.current_config_version = 1
         self.grace_deadline: Optional[float] = None
@@ -303,6 +310,55 @@ class OpenVpnServer:
         self.restarts += 1
 
     # ------------------------------------------------------------------
+    # fleet migration: session export / resumption
+    # ------------------------------------------------------------------
+    def export_session(self, session: VpnSession) -> dict:
+        """Retire *session* and return its plain-data migration record.
+
+        The per-session worker is killed and both lookup tables drop the
+        session — the gateway will not accept further traffic for it.
+        The record carries only management-plane state (certificate
+        subject, config version, establishment flag): channel keys are
+        deliberately *not* exported, because the migrated client
+        re-handshakes with the target gateway and derives fresh secrets.
+        """
+        session.worker.interrupt("migrated")
+        self.sessions_by_peer.pop((session.outer_addr, session.outer_port), None)
+        self.sessions_by_tunnel_ip.pop(session.tunnel_ip, None)
+        return {
+            "subject": session.certificate.subject,
+            "client_version": session.client_version,
+            "established": session.established,
+        }
+
+    def export_sessions(self, outer_addr=None) -> List[dict]:
+        """Export (and retire) sessions, oldest first.
+
+        With ``outer_addr`` only that peer address's sessions are
+        exported — the form fleet migration uses to move one client.
+        """
+        if outer_addr is not None:
+            outer_addr = IPv4Address(outer_addr)
+        records = []
+        for session in sorted(
+            self.sessions_by_peer.values(), key=lambda s: s.session_id
+        ):
+            if outer_addr is not None and session.outer_addr != outer_addr:
+                continue
+            records.append(self.export_session(session))
+        return records
+
+    def resume_session(self, record: dict) -> None:
+        """Accept a migrated client's exported record.
+
+        The record is adopted at the client's next handshake: its config
+        version carries over (so the fleet-wide grace accounting never
+        resets mid-migration) and the adoption is counted into
+        ``fleet.gateway.sessions_resumed``.
+        """
+        self._resumed_sessions[str(record["subject"])] = dict(record)
+
+    # ------------------------------------------------------------------
     # dispatch loops (cheap demux; CPU work happens in session workers)
     # ------------------------------------------------------------------
     def _rx_dispatch(self):
@@ -381,6 +437,14 @@ class OpenVpnServer:
         )
         self._next_session += 1
         session.client_version = client_version
+        record = self._resumed_sessions.pop(client_cert.subject, None)
+        if record is not None:
+            # a migrated client resumes: its exported config version
+            # carries over so grace accounting stays continuous even if
+            # the client restarted at version 1 on the way here
+            session.client_version = max(client_version, int(record["client_version"]))
+            self.sessions_resumed += 1
+            self._tm_sessions_resumed.inc()
         self.sessions_by_peer[(src, src_port)] = session
         self.sessions_by_tunnel_ip[tunnel_ip] = session
         self.handshakes_completed += 1
@@ -436,6 +500,7 @@ class OpenVpnServer:
         if not self.data_policy(session):
             session.packets_dropped_policy += 1
             self.packets_rejected += 1
+            self._tm_stale_rejected.inc()
             yield from self._charge(self.model.vpn_server_fixed)
             return
         deadline = self.grace_deadline_for(session.client_version)
@@ -613,6 +678,9 @@ class OpenVpnClient:
         self.last_server_rx: float = 0.0
         self.reconnects = 0
         self._reconnecting = False
+        #: the physical (pre-tunnel) route toward the server, kept so a
+        #: fleet migration can pin a host route for a *new* gateway
+        self._physical_route = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -748,6 +816,7 @@ class OpenVpnClient:
         # routes shadow the LAN (otherwise outer datagrams would loop
         # into the tunnel) — what OpenVPN's redirect-gateway does.
         physical = self.host.stack.route_for(self.server_addr)
+        self._physical_route = physical
         self.tun = self.host.add_tun(self.tunnel_ip, subnet, name=f"{self.host.name}.tun0")
         if physical is not None:
             self.host.stack.add_route(f"{self.server_addr}/32", physical)
@@ -851,6 +920,19 @@ class OpenVpnClient:
         self.sim.process(self._rx_dispatch(), name=f"{self.host.name}.vpn-rx")
         if rehandshake:
             self.last_server_rx = self.sim.now - 2.0 * self.dpd_timeout
+
+    def retarget(self, server_addr) -> None:
+        """Point the client at a different gateway (fleet migration).
+
+        Pins a host route for the new gateway over the physical uplink
+        (the installed tunnel routes would otherwise swallow the outer
+        datagrams) and rewinds dead-peer detection so the next tick
+        re-handshakes with the new endpoint.
+        """
+        self.server_addr = IPv4Address(server_addr)
+        if self._physical_route is not None:
+            self.host.stack.add_route(f"{self.server_addr}/32", self._physical_route)
+        self.last_server_rx = self.sim.now - 2.0 * self.dpd_timeout
 
     # ------------------------------------------------------------------
     # pipeline hooks (EndBox overrides these)

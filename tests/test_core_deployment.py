@@ -3,7 +3,7 @@
 import pytest
 
 from repro.click import configs as click_configs
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.ids.community_rules import ruleset_text
 from repro.netsim.packet import ENDBOX_PROCESSED_TOS
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
@@ -13,7 +13,7 @@ from repro.netsim.traffic import UdpSink, UdpTrafficSource
 def connected_world():
     """One EndBox SGX client, NOP config, fully connected (module-scoped:
     deployments are expensive to provision)."""
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP").build()
     world.connect_all()
     return world
 
@@ -55,7 +55,7 @@ def test_bypass_attempt_blocked_by_static_firewall(connected_world):
 
 
 def test_firewall_use_case_blocks_in_enclave():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="FW")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="FW").build()
     world.connect_all()
     client = world.clients[0]
     sink_allowed = UdpSink(world.internal, 8080)
@@ -71,7 +71,7 @@ def test_firewall_use_case_blocks_in_enclave():
 
 
 def test_idps_use_case_drops_matching_traffic():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="IDPS")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="IDPS").build()
     world.connect_all()
     client = world.clients[0]
     sink = UdpSink(world.internal, 5001)
@@ -99,7 +99,7 @@ def test_idps_use_case_drops_matching_traffic():
 
 
 def test_client_to_client_flagging_skips_second_click():
-    world = build_deployment(n_clients=2, setup="endbox_sgx", use_case="IDPS")
+    world = DeploymentSpec(clients=2, setup="endbox_sgx", use_case="IDPS").build()
     world.connect_all()
     a, b = world.clients
     received = []
@@ -127,7 +127,7 @@ def test_client_to_client_flagging_skips_second_click():
 
 
 def test_outside_attacker_cannot_forge_the_flag():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", protect_internal=False)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP", protect_internal=False).build()
     world.connect_all()
     client = world.clients[0]
     # an internal host (outside the tunnel) sends a flagged packet toward
@@ -153,7 +153,7 @@ def test_outside_attacker_cannot_forge_the_flag():
 
 
 def test_config_update_full_loop():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.2)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.2).build()
     world.connect_all()
     client = world.clients[0]
     # Fig 5 steps 1-2: publish a firewall config as version 2
@@ -184,7 +184,7 @@ def test_config_update_full_loop():
 
 
 def test_stale_client_blocked_after_grace_and_reconnect_gated():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5).build()
     world.connect_all()
     client = world.clients[0]
     # no config server: the client cannot update; version 2 announced
@@ -211,9 +211,9 @@ def test_back_to_back_rollouts_do_not_revive_expired_clients():
     """Regression: announcing v3 while v2's grace ran used to overwrite
     the single ``grace_deadline``, so a client already expired under v2
     regained admission for the whole of v3's grace window."""
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, ping_interval=0.5
+    ).build()
     world.connect_all()
     client = world.clients[0]
     world.server.announce_config(2, grace_period_s=0.5)
@@ -235,7 +235,7 @@ def test_back_to_back_rollouts_do_not_revive_expired_clients():
 
 
 def test_vanilla_client_cannot_join_endbox_deployment():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP")
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP").build()
     from repro.crypto.drbg import HmacDrbg
     from repro.crypto.x25519 import X25519PrivateKey
     from repro.netsim.host import class_a_host
@@ -257,9 +257,9 @@ def test_vanilla_client_cannot_join_endbox_deployment():
 
 
 def test_isp_scenario_mac_only_mode():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", scenario="isp", isp_no_encryption=True
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", scenario="isp", isp_no_encryption=True
+    ).build()
     world.connect_all()
     client = world.clients[0]
     sink = UdpSink(world.internal, 5500)
@@ -273,7 +273,7 @@ def test_isp_scenario_mac_only_mode():
 
 
 def test_openvpn_click_setup_processes_server_side():
-    world = build_deployment(n_clients=1, setup="openvpn_click", use_case="FW")
+    world = DeploymentSpec(clients=1, setup="openvpn_click", use_case="FW").build()
     world.connect_all()
     client = world.clients[0]
     sink_ok = UdpSink(world.internal, 8080)

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.core.endbox_client import EndBoxClient
 from repro.core.endbox_server import EndBoxServer
-from repro.core.scenarios import SETUPS, _use_case_configs
+from repro.core.scenarios import SETUPS, use_case_configs
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 from repro.sgx.enclave import EnclaveMode
 from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer
@@ -13,25 +13,25 @@ from repro.vpn.openvpn import OpenVpnClient, OpenVpnServer
 
 def test_invalid_setup_and_scenario_rejected():
     with pytest.raises(ValueError):
-        build_deployment(setup="mystery")
+        DeploymentSpec(setup="mystery").build()
     with pytest.raises(ValueError):
-        build_deployment(scenario="casino")
+        DeploymentSpec(scenario="casino").build()
     with pytest.raises(ValueError):
-        _use_case_configs("JUGGLE", server_side=False)
+        use_case_configs("JUGGLE", server_side=False)
 
 
 def test_every_use_case_builds_client_configs():
     for use_case in ("NOP", "LB", "FW", "IDPS", "DDoS"):
-        config, rules = _use_case_configs(use_case, server_side=False)
+        config, rules = use_case_configs(use_case, server_side=False)
         assert "FromDevice" in config and "ToDevice" in config
         if use_case in ("IDPS", "DDoS"):
             assert rules
-    server_ddos, _ = _use_case_configs("DDoS", server_side=True)
+    server_ddos, _ = use_case_configs("DDoS", server_side=True)
     assert "UntrustedSplitter" in server_ddos
 
 
 def test_endbox_sim_mode_uses_simulation_enclaves():
-    world = build_deployment(n_clients=1, setup="endbox_sim", use_case="NOP", with_config_server=False)
+    world = DeploymentSpec(clients=1, setup="endbox_sim", use_case="NOP", with_config_server=False).build()
     assert world.enclaves[0].enclave.mode is EnclaveMode.SIMULATION
     world.connect_all()
     assert isinstance(world.clients[0], EndBoxClient)
@@ -39,7 +39,7 @@ def test_endbox_sim_mode_uses_simulation_enclaves():
 
 
 def test_vanilla_setup_builds_plain_openvpn():
-    world = build_deployment(n_clients=2, setup="vanilla", use_case="NOP", with_config_server=False)
+    world = DeploymentSpec(clients=2, setup="vanilla", use_case="NOP", with_config_server=False).build()
     assert type(world.clients[0]) is OpenVpnClient
     assert type(world.server) is OpenVpnServer
     assert not world.enclaves
@@ -48,7 +48,7 @@ def test_vanilla_setup_builds_plain_openvpn():
 
 
 def test_openvpn_click_attaches_middlebox_per_session():
-    world = build_deployment(n_clients=2, setup="openvpn_click", use_case="FW", with_config_server=False)
+    world = DeploymentSpec(clients=2, setup="openvpn_click", use_case="FW", with_config_server=False).build()
     world.connect_all()
     sessions = list(world.server.sessions_by_peer.values())
     assert len(sessions) == 2
@@ -58,14 +58,14 @@ def test_openvpn_click_attaches_middlebox_per_session():
 
 
 def test_oversubscription_set_for_click_server():
-    world = build_deployment(n_clients=10, setup="openvpn_click", use_case="NOP", with_config_server=False)
+    world = DeploymentSpec(clients=10, setup="openvpn_click", use_case="NOP", with_config_server=False).build()
     assert world.server.oversubscription == pytest.approx(2 * 10 - 5)
-    vanilla = build_deployment(n_clients=10, setup="vanilla", use_case="NOP", with_config_server=False)
+    vanilla = DeploymentSpec(clients=10, setup="vanilla", use_case="NOP", with_config_server=False).build()
     assert vanilla.server.oversubscription == 0.0
 
 
 def test_lb_use_case_traffic_flows_end_to_end():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="LB", with_config_server=False)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="LB", with_config_server=False).build()
     world.connect_all()
     sink = UdpSink(world.internal, 7100)
     UdpTrafficSource(world.clients[0].host, world.internal.address, 7100, rate_bps=2e6, packet_bytes=500).start()
@@ -74,7 +74,7 @@ def test_lb_use_case_traffic_flows_end_to_end():
 
 
 def test_ddos_use_case_shapes_flood_at_client():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="DDoS", with_config_server=False)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="DDoS", with_config_server=False).build()
     world.connect_all()
     client = world.clients[0]
     sink = UdpSink(world.internal, 7200)
@@ -87,7 +87,7 @@ def test_ddos_use_case_shapes_flood_at_client():
 
 
 def test_deployment_exposes_accessors():
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=True)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=True).build()
     assert world.internal is world.internal_hosts[0]
     assert world.config_server is not None
     assert world.config_server.latest_version is None
@@ -96,6 +96,6 @@ def test_deployment_exposes_accessors():
 
 
 def test_clients_live_on_their_own_subnet():
-    world = build_deployment(n_clients=2, setup="vanilla", use_case="NOP", with_config_server=False)
+    world = DeploymentSpec(clients=2, setup="vanilla", use_case="NOP", with_config_server=False).build()
     for index, host in enumerate(world.client_hosts):
         assert str(host.stack.interfaces[0].address) == f"10.0.1.{index + 1}"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.faults import FaultInjector, FaultPlan, LinkLoss
 from repro.netsim import StarTopology
 from repro.netsim.host import class_a_host, class_b_host
@@ -69,9 +69,9 @@ def test_lossy_runs_are_deterministic():
 
 
 def test_vpn_tolerates_lossy_client_uplink():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False
+    ).build()
     world.connect_all()
     client = world.clients[0]
     FaultInjector.from_deployment(world).arm(
@@ -88,9 +88,9 @@ def test_vpn_tolerates_lossy_client_uplink():
 
 def test_remote_employee_connects_over_wan():
     """§II-A scenario 1: clients may 'join the network remotely'."""
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="FW", with_config_server=False
+    ).build()
     # home-office link: 25 ms one way, 50 Mbps, a little loss
     link = world.client_hosts[0].stack.interfaces[0].link
     link.latency_s = 25e-3
@@ -113,7 +113,7 @@ def test_remote_employee_connects_over_wan():
 def test_config_update_survives_lossy_wan():
     from repro.click import configs as click_configs
 
-    world = build_deployment(n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25)
+    world = DeploymentSpec(clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25).build()
     link = world.client_hosts[0].stack.interfaces[0].link
     link.latency_s = 25e-3
     link.set_loss_rate(0.03)

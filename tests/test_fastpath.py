@@ -16,7 +16,7 @@ from repro.click import Router, configs as click_configs
 from repro.core.ca import CertificateAuthority
 from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
 from repro.core.provisioning import provision_client
-from repro.core.scenarios import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.costs import default_cost_model
 from repro.netsim import IPv4Packet, UdpDatagram
 from repro.netsim.packet import ENDBOX_PROCESSED_TOS
@@ -315,23 +315,23 @@ def test_process_packet_batch_validator_rejects(endbox):
 # ----------------------------------------------------------------------
 def test_ecall_batching_requires_single_ecall_optimization():
     with pytest.raises(ValueError, match="single-ecall"):
-        build_deployment(ecall_batching=True, single_ecall_optimization=False)
+        DeploymentSpec(ecall_batching=True, single_ecall_optimization=False).build()
 
 
 def test_ecall_batch_limit_must_allow_batching():
     with pytest.raises(ValueError, match="batch"):
-        build_deployment(ecall_batching=True, ecall_batch_limit=1)
+        DeploymentSpec(ecall_batching=True, ecall_batch_limit=1).build()
 
 
 def test_default_deployment_stays_scalar():
-    world = build_deployment()
+    world = DeploymentSpec().build()
     client = world.clients[0]
     assert client.ecall_batching is False
     assert client.ecall_bursts == 0
 
 
 def test_batched_client_forms_bursts_and_delivers():
-    world = build_deployment(ecall_batching=True, seed=b"fastpath")
+    world = DeploymentSpec(ecall_batching=True, seed="fastpath").build()
     world.connect_all()
     client = world.clients[0]
     sink = UdpSink(world.internal, 5201)

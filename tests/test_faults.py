@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.core.scenarios import run_chaos_rollout
 from repro.faults import (
     ClientCrash,
@@ -166,9 +166,9 @@ def test_link_accepts_topology_prefix_names():
 # the injector on full deployments
 # ----------------------------------------------------------------------
 def test_server_restart_loses_sessions_and_clients_recover():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
+    ).build()
     world.connect_all()
     sim = world.sim
     client = world.clients[0]
@@ -189,9 +189,9 @@ def test_server_restart_loses_sessions_and_clients_recover():
 
 
 def test_client_crash_restores_from_sealed_state():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
+    ).build()
     world.connect_all()
     sim = world.sim
     client = world.clients[0]
@@ -220,9 +220,9 @@ def test_client_crash_restores_from_sealed_state():
 def test_config_outage_forces_fetch_retries_then_converges():
     from repro.click import configs as click_configs
 
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
+    ).build()
     world.connect_all()
     sim = world.sim
     client = world.clients[0]
@@ -238,9 +238,9 @@ def test_config_outage_forces_fetch_retries_then_converges():
 
 
 def test_epc_pressure_window_raises_paging_then_releases():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, charge_cpu=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", with_config_server=False, charge_cpu=False
+    ).build()
     sim = world.sim
     epc = world.platforms[0].epc
     baseline = epc.paging_fraction()
@@ -257,9 +257,9 @@ def test_epc_pressure_window_raises_paging_then_releases():
 # determinism
 # ----------------------------------------------------------------------
 def injected_run_digest():
-    world = build_deployment(
-        n_clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
-    )
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
+    ).build()
     world.sim.telemetry.recording = True
     world.connect_all()
     sink = UdpSink(world.internal, 6002)

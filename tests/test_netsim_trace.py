@@ -91,9 +91,9 @@ def test_tracer_bounded(traced_world):
 
 def test_tracer_sees_vpn_outer_traffic():
     """Tracing a client NIC shows the encapsulated tunnel datagrams."""
-    from repro.core import build_deployment
+    from repro.fleet import DeploymentSpec
 
-    world = build_deployment(n_clients=2, setup="endbox_sgx", use_case="NOP", with_config_server=False)
+    world = DeploymentSpec(clients=2, setup="endbox_sgx", use_case="NOP", with_config_server=False).build()
     world.connect_all()
     a, b = world.clients
     tracer = PacketTracer(world.sim)

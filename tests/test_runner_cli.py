@@ -40,4 +40,5 @@ def test_registry_is_complete():
         "optimizations",
         "ablation-consensus",
         "ablation-epc",
+        "fleet-rollout",
     }

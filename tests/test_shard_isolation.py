@@ -16,7 +16,7 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.core import build_deployment
+from repro.fleet import DeploymentSpec
 from repro.faults import trace_digest
 from repro.netsim.traffic import UdpSink, UdpTrafficSource
 from repro.telemetry.registry import Registry
@@ -33,13 +33,13 @@ UNTIL = 12.0
 
 def build_world(rate_bps):
     """One deployment with a UDP source/sink pair at ``rate_bps``."""
-    world = build_deployment(
-        n_clients=1,
+    world = DeploymentSpec(
+        clients=1,
         setup="endbox_sgx",
         use_case="NOP",
         ping_interval=0.25,
         charge_cpu=False,
-    )
+    ).build()
     world.sim.telemetry.recording = True
     world.connect_all()
     sink = UdpSink(world.internal, 6002)

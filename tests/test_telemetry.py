@@ -54,6 +54,24 @@ def test_malformed_names_rejected(bad):
         tm_names.register(bad, "counter")
 
 
+def test_fleet_names_registered_with_metadata():
+    # the repro.fleet instrument family ships kind/unit/help like every
+    # core name, so exporters can annotate fleet counters unchanged
+    expected = {
+        "fleet.balancer.picks": "lookups",
+        "fleet.balancer.remaps": "clients",
+        "fleet.balancer.migrations": "clients",
+        "fleet.gateway.sessions_resumed": "sessions",
+        "fleet.gateway.stale_rejected": "packets",
+        "fleet.gateway.stale_admitted": "packets",
+    }
+    for name, unit in expected.items():
+        info = tm_names.info(name)
+        assert info.kind == "counter"
+        assert info.unit == unit
+        assert info.help
+
+
 def test_unregistered_names_rejected_by_registry():
     with fork_isolated() as reg:
         with pytest.raises(TelemetryNameError):
