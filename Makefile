@@ -16,13 +16,16 @@ lint:
 
 # Pre-PR gate: secret-flow lint, the full test suite, a figure-10
 # byte-identity smoke, the telemetry differential smoke (recording
-# on vs off must not change a single packet byte), and the
-# shard-determinism smoke (2-shard merged digest == serial digest).
+# on vs off must not change a single packet byte), the
+# shard-determinism smoke (2-shard merged digest == serial digest),
+# and the committed perf baseline (BENCH_micro.json must satisfy
+# every per-stage criterion — see `python -m repro.perf`).
 # The second lint run is warm (the first one filled .lint_cache) and
 # must come back under the 5 s latency budget.
 check: lint
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/ benchmarks/ examples/ --budget 5
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_fastpath.py -q -k "committed_bench_baseline"
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_experiments_smoke.py -q -k "fig10 or deterministic"
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_telemetry.py -q -k "identical_with_telemetry"
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults.py -q -k "deterministic or byte_identical"

@@ -123,16 +123,6 @@ HOT_ALLOWANCES: List[HotAllowance] = [
     ),
     HotAllowance(
         rule="HP701",
-        path="repro/crypto/stream.py",
-        contains="slices payload 'cached'",
-        note=(
-            "cached keystream truncation to the request length: the cache "
-            "stores the longest stream seen per nonce and callers must not "
-            "receive trailing key material beyond their ciphertext length"
-        ),
-    ),
-    HotAllowance(
-        rule="HP701",
         path="repro/vpn/channel.py",
         contains="'payload' + ",
         note=(

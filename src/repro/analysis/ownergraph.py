@@ -158,6 +158,17 @@ OWNERSHIP: List[SharedStateWaiver] = [
         ),
     ),
     SharedStateWaiver(
+        rule="SS604",
+        path="repro/netsim/addresses.py",
+        contains="_intern",
+        note=(
+            "the address intern table is a pure memo keyed by the 32-bit "
+            "value; an entry is a deterministic function of its key, so "
+            "shards sharing it cannot diverge, and interning is what keeps "
+            "per-packet address lookup allocation-free on the parse path"
+        ),
+    ),
+    SharedStateWaiver(
         rule="SS605",
         path="repro/telemetry/registry.py",
         contains="_process_root",

@@ -146,16 +146,17 @@ class Router:
         Returns ``(accepted, packet)`` where ``packet`` reflects any
         header/payload rewrites elements performed.
         """
+        wrap = Packet
         plan = self._plan
         if plan is not None and plan.entry_receive is not None:
-            packet = Packet(ip_packet)
+            packet = wrap(ip_packet)
             self.packets_processed += 1
             self._tm_packets.inc()
             plan.entry_receive(packet)
             return packet.verdict == "accept", packet.ip
         if self._entry is None:
             raise ElementError("configuration has no FromDevice entry point")
-        packet = Packet(ip_packet)
+        packet = wrap(ip_packet)
         self.packets_processed += 1
         self._tm_packets.inc()
         self._entry._receive(0, packet)
@@ -183,7 +184,12 @@ class Router:
             self.packets_processed += len(results)
             self._tm_packets.inc(len(results))
             return results
-        return [self.process(ip_packet) for ip_packet in ip_packets]
+        process = self.process
+        results = []
+        append = results.append
+        for ip_packet in ip_packets:
+            append(process(ip_packet))
+        return results
 
     # ------------------------------------------------------------------
     def element(self, name: str) -> Element:

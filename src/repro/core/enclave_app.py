@@ -35,6 +35,11 @@ from repro.vpn.costing import crypto_cost
 from repro.vpn.channel import ProtectionMode
 
 
+# value -> member, resolved once at import: the per-packet ecall must not
+# re-run the Enum constructor for every crossing
+_PROTECTION_MODES = {m.value: m for m in ProtectionMode}
+
+
 class ProvisioningError(EnclaveError):
     """Certificate/key provisioning failed inside the enclave."""
 
@@ -170,7 +175,7 @@ def ecall_process_packet(
             pages_touched = size // 4096 + 4  # payload + code/stack working set
             ledger.add(paging * pages_touched * model.epc_page_fault)
             gateway.epc_faults.inc(paging * pages_touched)
-    mode = ProtectionMode(mode_value)
+    mode = _PROTECTION_MODES[mode_value]
     ledger.add(crypto_cost(model, size, mode))  # data-channel crypto runs in here
     if direction == "ingress" and c2c_flagging and packet.tos == ENDBOX_PROCESSED_TOS:
         return True, packet  # peer already ran the middlebox functions
@@ -189,18 +194,20 @@ def ecall_process_packet_batch(
     accounting differences are the ones batching is *for*: the gateway
     charges a single transition pair for the whole burst, EPC residency
     is sampled once per crossing (it cannot change while the enclave
-    holds the data plane), and each packet's boundary/EPC/crypto charges
-    land as one ledger entry instead of three (same sum up to float
-    rounding; the egress arm also books all charges before running
-    Click).  Shared state (the Click router, cost model, protection
-    mode) is resolved once per burst, which — with the fused
-    ``process_batch`` dispatch — is where the wall-clock win over N
-    scalar ecalls comes from.
+    holds the data plane), and the burst's boundary/EPC/crypto charges
+    land as one summed ledger entry instead of three per packet (same
+    total up to float rounding; the egress arm also books all charges
+    before running Click).  Per-packet charges are a pure function of
+    the packet size, so the burst loop prices each *distinct* size once
+    and replays the figure for the runs of equal-sized packets a
+    fragmented datagram produces.  Shared state (the Click router, cost
+    model, protection mode) is resolved once per burst, which — with the
+    fused ``process_batch`` dispatch — is where the wall-clock win over
+    N scalar ecalls comes from.
     """
     state = enclave.trusted_state
     manager: HotSwapManager = state["click"]
     model = state["cost_model"]
-    add = gateway.ledger.add
     memcpy = model.memcpy
     hmac = model.hmac
     aes = model.aes
@@ -209,34 +216,51 @@ def ecall_process_packet_batch(
         epc_per_byte = model.epc_per_byte
         epc_page_fault = model.epc_page_fault
         paging = enclave.epc.paging_fraction()
-    encrypting = ProtectionMode(mode_value) is ProtectionMode.ENCRYPT_AND_MAC
+    encrypting = _PROTECTION_MODES[mode_value] is ProtectionMode.ENCRYPT_AND_MAC
     router = manager.router
-    faults_inc = gateway.epc_faults.inc
+
+    last_size = -1
+    last_cost = 0.0
+    last_faults = 0.0
+    total_cost = 0.0
+    total_faults = 0.0
 
     def charge(size: int) -> None:
-        cost = 2 * memcpy(size)
-        if hardware:
-            cost += size * epc_per_byte
-            if paging > 0.0:
-                expected_faults = paging * (size // 4096 + 4)
-                cost += expected_faults * epc_page_fault
-                faults_inc(expected_faults)
-        cost += hmac(size)
-        if encrypting:
-            cost += aes(size)
-        add(cost)
+        nonlocal last_size, last_cost, last_faults, total_cost, total_faults
+        if size != last_size:
+            cost = 2 * memcpy(size)
+            faults = 0.0
+            if hardware:
+                cost += size * epc_per_byte
+                if paging > 0.0:
+                    faults = paging * (size // 4096 + 4)
+                    cost += faults * epc_page_fault
+            cost += hmac(size)
+            if encrypting:
+                cost += aes(size)
+            last_size = size
+            last_cost = cost
+            last_faults = faults
+        total_cost += last_cost
+        total_faults += last_faults
+
+    def book() -> None:
+        gateway.ledger.add(total_cost)
+        if total_faults:
+            gateway.epc_faults.inc(total_faults)
 
     if direction == "egress":
         for packet in packets:
             charge(len(packet))
+        book()
         results = router.process_batch(packets)
         if not c2c_flagging:
             return results
         flag = ENDBOX_PROCESSED_TOS
-        return [
-            (accepted, packet.copy(tos=flag) if accepted else packet)
-            for accepted, packet in results
-        ]
+        for index, (accepted, packet) in enumerate(results):
+            if accepted:
+                results[index] = (True, packet.with_tos(flag))
+        return results
     process = router.process
     bypass = c2c_flagging
     results = []
@@ -247,6 +271,7 @@ def ecall_process_packet_batch(
             append((True, packet))
         else:
             append(process(packet))
+    book()
     return results
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.crypto.cachestate import current_caches
+from repro.crypto.cachestate import AES_SCHEDULE_CACHE_ENTRIES, current_caches
 from repro.telemetry.registry import register_collector
 
 _SBOX = [
@@ -63,13 +63,11 @@ def _mul(a: int, b: int) -> int:
     return result
 
 
-#: round keys are a pure function of the key, so sessions re-deriving a
-#: cipher for the same key (one per record in the worst case) reuse the
-#: expansion instead of redoing 40 rounds of the schedule.  The cache
-#: lives per telemetry registry (per Simulator) — see
-#: :mod:`repro.crypto.cachestate` — and is bounded so a long-running
-#: simulation with many sessions cannot grow it unboundedly.
-_KEY_SCHEDULE_CACHE_MAX = 1024
+# round keys are a pure function of the key, so sessions re-deriving a
+# cipher for the same key (one per record in the worst case) reuse the
+# expansion instead of redoing 40 rounds of the schedule.  The cache
+# lives per telemetry registry (per Simulator) and is bounded by
+# deterministic FIFO eviction — see :mod:`repro.crypto.cachestate`.
 
 # schedule-cache stats, exported via a repro.telemetry global collector
 _CACHE_HITS = 0
@@ -104,8 +102,8 @@ class AES128:
         if cached is None:
             _CACHE_MISSES += 1
             cached = self._expand_key(key)
-            if len(cache) >= _KEY_SCHEDULE_CACHE_MAX:
-                cache.clear()
+            if len(cache) >= AES_SCHEDULE_CACHE_ENTRIES:
+                del cache[next(iter(cache))]
             cache[key] = cached
         else:
             _CACHE_HITS += 1

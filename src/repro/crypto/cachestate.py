@@ -1,4 +1,4 @@
-"""Per-registry crypto cache state: shard-safe schedule/keystream caches.
+"""Per-registry crypto cache state: shard-safe, size-bounded caches.
 
 The PR-2 performance caches (AES key schedules, keystream bytes, HMAC
 pad states) used to be module globals — one dict per process.  That is
@@ -16,6 +16,15 @@ double derivation happens under one registry — while cross-simulator
 reuse (which trace digests could never rely on anyway) is gone by
 construction.
 
+Every cache is **bounded**, and this module owns the caps: a
+million-packet run derives a keystream (and now a MAC record) per
+(key, nonce), so an uncapped dict is a linear memory leak.  Eviction is
+deterministic — strictly insertion-ordered FIFO via
+:func:`evict_to_cap`, no wall time, no randomness — so two replays of
+the same seed evict the same entries in the same order and every cached
+value remains a pure function of its key (byte-identical to
+recomputation, hence invisible to trace digests).
+
 The cache *effectiveness counters* stay module-global monotone ints in
 their owning modules, bridged per-registry by the telemetry
 ``register_collector`` delta mechanism; see the OWNERSHIP waivers in
@@ -26,11 +35,37 @@ from __future__ import annotations
 
 from repro.telemetry.registry import Registry
 
+#: (key, nonce) -> keystream bytes (:mod:`repro.crypto.stream`).
+KEYSTREAM_CACHE_ENTRIES = 2048
+#: key -> (inner, outer) pad states (:mod:`repro.crypto.hmac`).
+HMAC_PAD_CACHE_ENTRIES = 4096
+#: (hmac_key, nonce) -> (auth_header, sealed, tag) (:mod:`repro.vpn.channel`).
+MAC_TAG_CACHE_ENTRIES = 2048
+#: key -> AES round keys (:mod:`repro.crypto.aes`).
+AES_SCHEDULE_CACHE_ENTRIES = 1024
+
+
+def evict_to_cap(cache: dict, cap: int) -> int:
+    """Deterministically evict oldest-inserted entries down to ``cap``.
+
+    Returns the number of entries evicted.  Plain dicts iterate in
+    insertion order, so ``next(iter(cache))`` is the oldest entry —
+    FIFO eviction with no timestamps and no bookkeeping beyond the dict
+    itself.  Hot paths inline the one-entry case (``if len(cache) >=
+    cap: del cache[next(iter(cache))]``); this helper exists for cold
+    callers and for tests that shrink a cache after a cap change.
+    """
+    evicted = 0
+    while len(cache) > cap:
+        del cache[next(iter(cache))]
+        evicted += 1
+    return evicted
+
 
 class CryptoCaches:
     """The per-registry cache block; one per Registry, created on demand."""
 
-    __slots__ = ("aes_schedules", "keystreams", "hmac_pads")
+    __slots__ = ("aes_schedules", "keystreams", "hmac_pads", "mac_tags")
 
     def __init__(self) -> None:
         #: key -> 11 AES round keys (:mod:`repro.crypto.aes`)
@@ -39,6 +74,10 @@ class CryptoCaches:
         self.keystreams: dict = {}
         #: key -> (inner, outer) pad states (:mod:`repro.crypto.hmac`)
         self.hmac_pads: dict = {}
+        #: (hmac_key, nonce) -> (auth_header, sealed, tag): the record a
+        #: sender MAC'd, kept so the in-process receiver can verify by
+        #: comparison instead of re-running HMAC (:mod:`repro.vpn.channel`)
+        self.mac_tags: dict = {}
 
 
 def caches_for(registry: Registry) -> CryptoCaches:

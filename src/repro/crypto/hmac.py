@@ -12,14 +12,8 @@ from __future__ import annotations
 import hashlib
 import hmac as _hmac
 
-from repro.crypto.cachestate import current_caches
+from repro.crypto.cachestate import HMAC_PAD_CACHE_ENTRIES, current_caches
 from repro.telemetry.registry import register_collector
-
-#: key -> (inner, outer) sha256 objects holding the keyed pad states.
-#: The cache lives per telemetry registry (per Simulator) — see
-#: :mod:`repro.crypto.cachestate` — and is bounded: a long-lived
-#: simulation with many sessions must not grow it forever.
-_PAD_STATE_CACHE_MAX = 4096
 
 # pad-state-cache stats, exported via a repro.telemetry global collector
 _CACHE_HITS = 0
@@ -57,12 +51,19 @@ def _keyed_state(key: bytes):
             hashlib.sha256(bytes(b ^ 0x36 for b in block_key)),
             hashlib.sha256(bytes(b ^ 0x5C for b in block_key)),
         )
-        if len(cache) >= _PAD_STATE_CACHE_MAX:
-            cache.clear()
+        if len(cache) >= HMAC_PAD_CACHE_ENTRIES:
+            # deterministic FIFO eviction of the oldest-inserted key
+            del cache[next(iter(cache))]
         cache[bytes(key)] = pair
     else:
         _CACHE_HITS += 1
     return pair
+
+
+#: public alias: burst callers hoist one pad-state lookup per burst and
+#: ``copy()`` the returned states once per record (the chunked
+#: :func:`hmac_sha256`/:func:`hmac_verify` below do exactly this per call)
+pad_states = _keyed_state
 
 
 def hmac_sha256(key: bytes, *chunks: bytes) -> bytes:

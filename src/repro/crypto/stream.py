@@ -14,26 +14,15 @@ from __future__ import annotations
 import hashlib
 import struct
 
-from repro.crypto.cachestate import current_caches
+from repro.crypto.cachestate import KEYSTREAM_CACHE_ENTRIES, current_caches
 from repro.telemetry.registry import register_collector
-
-#: (key, nonce) -> keystream bytes.  The VPN computes every keystream
-#: twice — once to protect at the sender, once to unprotect the same
-#: record at the receiver — with the same key and nonce; caching the
-#: blocks turns the second derivation into a dict hit.  Pure function of
-#: (key, nonce), so cached bytes are identical to recomputation.  The
-#: cache lives per telemetry registry (per Simulator) — see
-#: :mod:`repro.crypto.cachestate` — and is bounded: cleared wholesale
-#: when full (records are short-lived; a generational clear is cheaper
-#: than LRU bookkeeping).
-_KEYSTREAM_CACHE_MAX = 2048
 
 # cache effectiveness stats: module ints (one add on the hot path), fed
 # to repro.telemetry as a global collector — registries report deltas
 # over their own lifetime, so per-simulator hit rates come out right.
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
-_CACHE_CLEARS = 0
+_CACHE_EVICTIONS = 0
 
 
 def _collect_cache_stats() -> dict:
@@ -41,7 +30,7 @@ def _collect_cache_stats() -> dict:
     return {
         "crypto.stream.cache_hits": _CACHE_HITS,
         "crypto.stream.cache_misses": _CACHE_MISSES,
-        "crypto.stream.cache_clears": _CACHE_CLEARS,
+        "crypto.stream.cache_clears": _CACHE_EVICTIONS,
     }
 
 
@@ -53,6 +42,17 @@ class KeystreamCipher:
 
     Encryption and decryption are the same operation.  A fresh ``nonce``
     must be used per message (the VPN layer uses its packet id).
+
+    Keystream bytes are cached per ``(key, nonce)``: the VPN computes
+    every keystream twice — once to protect at the sender, once to
+    unprotect the same record at the receiver — so the second
+    derivation is a dict hit.  The cache is a pure function of its key,
+    lives per telemetry registry (per Simulator) — see
+    :mod:`repro.crypto.cachestate` — and is bounded by strictly FIFO
+    eviction at :data:`~repro.crypto.cachestate.KEYSTREAM_CACHE_ENTRIES`
+    entries.  Cached streams are stored at full block granularity and
+    handed out as zero-copy :class:`memoryview` slices, never
+    truncate-copied.
     """
 
     #: struct-packed counters, shared across instances: an immutable
@@ -73,46 +73,69 @@ class KeystreamCipher:
         # the hot path skip the current-registry resolution entirely
         self._keystreams = current_caches().keystreams
 
-    def _keystream(self, nonce: bytes, length: int) -> bytes:
-        # counter increments are OWNERSHIP-waived (monotone, bridged per
-        # registry by the collector delta); the cache is per-registry
-        global _CACHE_HITS, _CACHE_MISSES, _CACHE_CLEARS
-        cache = self._keystreams
-        cache_key = (self._key, nonce)
-        cached = cache.get(cache_key)
-        if cached is not None and len(cached) >= length:
-            _CACHE_HITS += 1
-            return cached[:length]
-        _CACHE_MISSES += 1
+    def _generate(self, nonce: bytes, n_blocks: int) -> bytes:
+        """Derive ``n_blocks`` fresh keystream blocks for ``nonce``."""
         counters = self._COUNTERS
-        n_blocks = (length + 31) // 32
         if n_blocks > len(counters):
             counters = tuple(struct.pack(">I", index) for index in range(n_blocks))
         # per message: absorb the nonce once on top of the key midstate
         base = self._midstate.copy()
         base.update(nonce)
+        if n_blocks == 1:
+            base.update(counters[0])
+            return base.digest()
         copy = base.copy
-        blocks = []
-        append = blocks.append
-        for counter in range(n_blocks):
+        parts = []
+        append = parts.append
+        last = n_blocks - 1
+        for counter in range(last):
             block = copy()
             block.update(counters[counter])
             append(block.digest())
-        stream = b"".join(blocks)[:length]
-        if len(cache) >= _KEYSTREAM_CACHE_MAX:
-            cache.clear()
-            _CACHE_CLEARS += 1
-        cache[cache_key] = stream
+        # the final block consumes ``base`` itself: one fewer hash copy
+        base.update(counters[last])
+        append(base.digest())
+        return b"".join(parts)
+
+    def _keystream(self, nonce: bytes, length: int):
+        """Keystream bytes for ``nonce``; a buffer of exactly ``length``.
+
+        Returns the cached ``bytes`` when the stream is block-aligned
+        and a zero-copy :class:`memoryview` slice otherwise — never a
+        truncating copy.  The backing buffer is an immutable ``bytes``
+        owned by the cache, so returned views stay valid even across
+        eviction (the view keeps its buffer alive).
+        """
+        # counter increments are OWNERSHIP-waived (monotone, bridged per
+        # registry by the collector delta); the cache is per-registry
+        global _CACHE_HITS, _CACHE_MISSES, _CACHE_EVICTIONS
+        cache = self._keystreams
+        cache_key = (self._key, nonce)
+        stream = cache.get(cache_key)
+        if stream is not None and len(stream) >= length:
+            _CACHE_HITS += 1
+        else:
+            _CACHE_MISSES += 1
+            stream = self._generate(nonce, (length + 31) >> 5)
+            if len(cache) >= KEYSTREAM_CACHE_ENTRIES:
+                # deterministic FIFO eviction: dicts iterate in
+                # insertion order, so this drops the oldest entry
+                del cache[next(iter(cache))]
+                _CACHE_EVICTIONS += 1
+            cache[cache_key] = stream
+        if len(stream) > length:
+            return memoryview(stream)[:length]
         return stream
 
     def process(self, nonce: bytes, data: bytes) -> bytes:
         """Encrypt or decrypt ``data`` under ``nonce``."""
         if not data:
             return b""
-        stream = self._keystream(nonce, len(data))
+        size = len(data)
+        stream = self._keystream(nonce, size)
         # Whole-buffer XOR via big integers: ~50x faster than a byte loop.
         xored = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
-        return xored.to_bytes(len(data), "big")
+        return xored.to_bytes(size, "big")
 
     encrypt = process
     decrypt = process

@@ -170,7 +170,7 @@ def run(fleet_sizes: Sequence[int] = FLEET_SIZES, seed: str = "ablation-consensu
         },
     )
     for n in fleet_sizes:
-        latency, messages = _endbox_rollout(n, seed + str(n).encode())
+        latency, messages = _endbox_rollout(n, seed + str(n))
         result.series["endbox_latency_ms"][n] = latency * 1e3
         result.series["endbox_messages"][n] = messages
         paxos = _paxos_rollout(n)

@@ -82,6 +82,27 @@ class IPv4Address:
             return cached
         return cls(number)
 
+    @classmethod
+    def from_value(cls, number: int) -> "IPv4Address":
+        """The interned address for a 32-bit integer (hot parse path)."""
+        cached = cls._intern.get(number)
+        if cached is not None:
+            return cached
+        return cls(number)
+
+
+def as_address(value: AddressLike) -> "IPv4Address":
+    """Coerce ``value`` to an interned :class:`IPv4Address`.
+
+    The common case on packet paths — the value already is an address —
+    returns it without entering the constructor; everything else goes
+    through the interning constructor, which allocates at most once per
+    distinct address for the life of the process.
+    """
+    if type(value) is IPv4Address:
+        return value
+    return IPv4Address(value)  # endbox-lint: hotpath(HP702) interned: allocates once per distinct address
+
 
 class IPv4Network:
     """A network in CIDR form, supporting membership tests and iteration."""

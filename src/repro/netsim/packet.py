@@ -9,13 +9,24 @@ as they would on real packets.
 Checksums are computed with the genuine Internet checksum algorithm.  The
 TOS/DSCP byte is first-class because EndBox's client-to-client
 optimisation stores its "already processed" flag there.
+
+Buffer model (see DESIGN.md, "Zero-copy buffer model"): parsers accept
+``bytes`` or ``memoryview`` input, read headers in place via
+``unpack_from``, and materialise the payload exactly once — at the
+ownership boundary where the parsed object takes over from the wire
+buffer.  Serializers read payloads without intermediate slices and emit
+one contiguous wire buffer (the single mandatory copy).  The
+``new_udp``/``new_tcp``/``new_icmp``/``new_ipv4`` fast constructors
+build packet objects for already-normalised fields without the
+dataclass ``__init__``/``__post_init__`` overhead of the general
+constructors.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.netsim.addresses import IPv4Address
 
@@ -38,25 +49,62 @@ TCP_RST = 0x04
 TCP_PSH = 0x08
 TCP_ACK = 0x10
 
+_UDP_HEADER = struct.Struct(">HHHH")
+_TCP_HEADER = struct.Struct(">HHIIHHHH")
+_ICMP_HEADER = struct.Struct(">BBHHH")
+# src/dst as 32-bit integers (II): identical wire bytes to 4s4s, but
+# packs straight from the interned IPv4Address.value without to_bytes()
+_IP_HEADER = struct.Struct(">BBHHHBBHII")
+_CHECKSUM_FIELD = struct.Struct(">H")
 
-def internet_checksum(data: bytes) -> int:
-    """RFC 1071 ones-complement checksum.
+
+def internet_checksum(data) -> int:
+    """RFC 1071 ones-complement checksum of a bytes-like buffer.
 
     Computed as one big-integer reduction rather than a per-word Python
     loop: since ``2**16 ≡ 1 (mod 0xFFFF)``, the end-around-carry sum of
     the 16-bit words equals ``int(data) % 0xFFFF`` — except that folding
     yields ``0xFFFF`` (not 0) for any non-zero input whose word sum is a
-    multiple of 0xFFFF, which the explicit checks preserve.
+    multiple of 0xFFFF, which the explicit checks preserve.  Odd-length
+    input is virtually zero-padded by shifting the integer one byte left
+    instead of concatenating, so ``memoryview``/``bytearray`` input
+    works without a copy.
     """
-    if len(data) % 2:
-        data += b"\x00"
     big = int.from_bytes(data, "big")
+    if len(data) % 2:
+        big <<= 8
     if big == 0:
         return 0xFFFF
     total = big % 0xFFFF
     if total == 0:
         total = 0xFFFF
     return (~total) & 0xFFFF
+
+
+def _ipv4_checksum_words(
+    tos: int, size: int, identification: int, flags_frag: int, ttl: int, protocol: int, src: int, dst: int
+) -> int:
+    """The IPv4 header checksum, straight from the field values.
+
+    Algebraically identical to :func:`internet_checksum` over the packed
+    20-byte header with a zeroed checksum field: the ten header words
+    are summed directly (the version/IHL byte 0x45 guarantees a non-zero
+    word sum, so the all-zero edge case cannot occur).
+    """
+    folded = (
+        (0x4500 | tos)
+        + size
+        + identification
+        + flags_frag
+        + ((ttl << 8) | protocol)
+        + (src >> 16)
+        + (src & 0xFFFF)
+        + (dst >> 16)
+        + (dst & 0xFFFF)
+    ) % 0xFFFF
+    if folded == 0:
+        return 0  # ~0xFFFF & 0xFFFF after end-around folding
+    return (~folded) & 0xFFFF
 
 
 @dataclass
@@ -74,16 +122,25 @@ class UdpDatagram:
 
     def serialize(self) -> bytes:
         """Serialize to wire bytes."""
-        return struct.pack(">HHHH", self.src_port, self.dst_port, len(self), 0) + self.payload
+        tail = self.payload
+        if type(tail) is not bytes:
+            tail = bytes(tail)
+        return _UDP_HEADER.pack(self.src_port, self.dst_port, UDP_HEADER_LEN + len(tail), 0) + tail
 
     @classmethod
-    def parse(cls, data: bytes) -> "UdpDatagram":
+    def parse(cls, data) -> "UdpDatagram":
         if len(data) < UDP_HEADER_LEN:
             raise ValueError("truncated UDP datagram")
-        src, dst, length, _checksum = struct.unpack(">HHHH", data[:8])
+        src, dst, length, _checksum = _UDP_HEADER.unpack_from(data)
         if length != len(data):
             raise ValueError(f"UDP length field {length} != datagram size {len(data)}")
-        return cls(src, dst, data[8:])
+        view = data if type(data) is memoryview else memoryview(data)
+        dgram = cls.__new__(cls)
+        dgram.src_port = src
+        dgram.dst_port = dst
+        # the one payload materialisation: the datagram owns its bytes
+        dgram.payload = bytes(view[UDP_HEADER_LEN:])
+        return dgram
 
 
 @dataclass
@@ -121,31 +178,41 @@ class TcpSegment:
 
     def serialize(self) -> bytes:
         """Serialize to wire bytes."""
-        offset_flags = (5 << 12) | (self.flags & 0x3F)
-        header = struct.pack(
-            ">HHIIHHHH",
-            self.src_port,
-            self.dst_port,
-            self.seq & 0xFFFFFFFF,
-            self.ack & 0xFFFFFFFF,
-            offset_flags,
-            self.window,
-            0,  # checksum (filled conceptually; omitted for speed)
-            0,  # urgent pointer
+        tail = self.payload
+        if type(tail) is not bytes:
+            tail = bytes(tail)
+        return (
+            _TCP_HEADER.pack(
+                self.src_port,
+                self.dst_port,
+                self.seq & 0xFFFFFFFF,
+                self.ack & 0xFFFFFFFF,
+                (5 << 12) | (self.flags & 0x3F),
+                self.window,
+                0,  # checksum (filled conceptually; omitted for speed)
+                0,  # urgent pointer
+            )
+            + tail
         )
-        return header + self.payload
 
     @classmethod
-    def parse(cls, data: bytes) -> "TcpSegment":
+    def parse(cls, data) -> "TcpSegment":
         if len(data) < TCP_HEADER_LEN:
             raise ValueError("truncated TCP segment")
-        src, dst, seq, ack, offset_flags, window, _ck, _urg = struct.unpack(
-            ">HHIIHHHH", data[:20]
-        )
+        src, dst, seq, ack, offset_flags, window, _ck, _urg = _TCP_HEADER.unpack_from(data)
         data_offset = (offset_flags >> 12) * 4
         if data_offset < TCP_HEADER_LEN or data_offset > len(data):
             raise ValueError("bad TCP data offset")
-        return cls(src, dst, seq, ack, offset_flags & 0x3F, window, data[data_offset:])
+        view = data if type(data) is memoryview else memoryview(data)
+        segment = cls.__new__(cls)
+        segment.src_port = src
+        segment.dst_port = dst
+        segment.seq = seq
+        segment.ack = ack
+        segment.flags = offset_flags & 0x3F
+        segment.window = window
+        segment.payload = bytes(view[data_offset:])
+        return segment
 
 
 @dataclass
@@ -167,25 +234,32 @@ class IcmpMessage:
 
     def serialize(self) -> bytes:
         """Serialize to wire bytes."""
-        header = struct.pack(">BBHHH", self.icmp_type, self.code, 0, self.identifier, self.sequence)
-        checksum = internet_checksum(header + self.payload)
-        header = struct.pack(
-            ">BBHHH", self.icmp_type, self.code, checksum, self.identifier, self.sequence
-        )
-        return header + self.payload
+        tail = self.payload
+        out = bytearray(ICMP_HEADER_LEN + len(tail))
+        _ICMP_HEADER.pack_into(out, 0, self.icmp_type, self.code, 0, self.identifier, self.sequence)
+        out[ICMP_HEADER_LEN:] = tail
+        _CHECKSUM_FIELD.pack_into(out, 2, internet_checksum(out))
+        return bytes(out)
 
     @classmethod
-    def parse(cls, data: bytes) -> "IcmpMessage":
+    def parse(cls, data) -> "IcmpMessage":
         if len(data) < ICMP_HEADER_LEN:
             raise ValueError("truncated ICMP message")
-        icmp_type, code, _checksum, identifier, sequence = struct.unpack(">BBHHH", data[:8])
-        return cls(icmp_type, code, identifier, sequence, data[8:])
+        icmp_type, code, _checksum, identifier, sequence = _ICMP_HEADER.unpack_from(data)
+        view = data if type(data) is memoryview else memoryview(data)
+        message = cls.__new__(cls)
+        message.icmp_type = icmp_type
+        message.code = code
+        message.identifier = identifier
+        message.sequence = sequence
+        message.payload = bytes(view[ICMP_HEADER_LEN:])
+        return message
 
     def make_reply(self) -> "IcmpMessage":
         """The echo reply for this echo request."""
         if self.icmp_type != self.ECHO_REQUEST:
             raise ValueError("can only reply to echo requests")
-        return IcmpMessage(self.ECHO_REPLY, 0, self.identifier, self.sequence, self.payload)
+        return new_icmp(self.ECHO_REPLY, 0, self.identifier, self.sequence, self.payload)
 
 
 L4Message = Union[UdpDatagram, TcpSegment, IcmpMessage, bytes]
@@ -235,28 +309,39 @@ class IPv4Packet:
         return len(self.l4)
 
     def __len__(self) -> int:
-        return self.total_length
+        # inlined total_length: len(packet) runs once or twice per packet
+        # on the ecall path (validator + cost charge), so it must not pay
+        # two property descriptor hops
+        return IPV4_HEADER_LEN + len(self.l4)
 
     def serialize(self) -> bytes:
         """Serialize to wire bytes."""
-        body = self.l4 if isinstance(self.l4, bytes) else self.l4.serialize()
+        l4 = self.l4
+        tail = l4 if isinstance(l4, bytes) else l4.serialize()
         flags_frag = (0x2000 if self.more_fragments else 0) | (self.frag_offset & 0x1FFF)
-        header = struct.pack(
-            ">BBHHHBBH4s4s",
-            0x45,  # version 4, IHL 5
-            self.tos,
-            IPV4_HEADER_LEN + len(body),
-            self.identification,
-            flags_frag,
-            self.ttl,
-            self.protocol,
-            0,  # checksum placeholder
-            self.src.to_bytes(),
-            self.dst.to_bytes(),
+        size = IPV4_HEADER_LEN + len(tail)
+        src = self.src.value
+        dst = self.dst.value
+        # checksum from the field values (no zeroed-header round trip),
+        # then a single pack and a single header||body concat
+        checksum = _ipv4_checksum_words(
+            self.tos, size, self.identification, flags_frag, self.ttl, self.protocol, src, dst
         )
-        checksum = internet_checksum(header)
-        header = header[:10] + struct.pack(">H", checksum) + header[12:]
-        return header + body
+        return (
+            _IP_HEADER.pack(
+                0x45,  # version 4, IHL 5
+                self.tos,
+                size,
+                self.identification,
+                flags_frag,
+                self.ttl,
+                self.protocol,
+                checksum,
+                src,
+                dst,
+            )
+            + tail
+        )
 
     _COPY_FIELDS = frozenset(
         (
@@ -294,36 +379,133 @@ class IPv4Packet:
             clone.__post_init__()  # renormalise src/dst/protocol
         return clone
 
+    def with_tos(self, tos: int) -> "IPv4Packet":
+        """Clone with a new TOS byte — ``copy(tos=...)`` minus the kwargs
+        dict and the renormalisation pass neither is needed for: the
+        c2c egress flagging rewrites every accepted packet of a burst."""
+        clone = object.__new__(IPv4Packet)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.l4 = self.l4
+        clone.tos = tos
+        clone.ttl = self.ttl
+        clone.identification = self.identification
+        clone.protocol = self.protocol
+        clone.frag_offset = self.frag_offset
+        clone.more_fragments = self.more_fragments
+        return clone
+
     # ------------------------------------------------------------------
     # IP fragmentation
     # ------------------------------------------------------------------
-    def fragment(self, mtu: int) -> List["IPv4Packet"]:
+    def fragment(self, mtu: int) -> Sequence["IPv4Packet"]:
         """Split into fragments that fit ``mtu`` (header included)."""
-        body = self.l4 if isinstance(self.l4, bytes) else self.l4.serialize()
+        l4 = self.l4
+        tail = l4 if isinstance(l4, bytes) else l4.serialize()
         max_body = ((mtu - IPV4_HEADER_LEN) // 8) * 8
         if max_body <= 0:
             raise ValueError(f"MTU {mtu} too small for IPv4")
-        if len(body) + IPV4_HEADER_LEN <= mtu and not self.is_fragment:
-            return [self]
+        size = len(tail)
+        if size + IPV4_HEADER_LEN <= mtu and not self.is_fragment:
+            return (self,)
         fragments = []
+        append = fragments.append
         offset = 0
-        while offset < len(body):
-            chunk = body[offset : offset + max_body]
-            fragments.append(
-                IPv4Packet(
-                    src=self.src,
-                    dst=self.dst,
-                    l4=chunk,
-                    tos=self.tos,
-                    ttl=self.ttl,
-                    identification=self.identification,
-                    protocol=self.protocol,
-                    frag_offset=self.frag_offset + offset // 8,
-                    more_fragments=(offset + len(chunk) < len(body)) or self.more_fragments,
+        while offset < size:
+            end = offset + max_body
+            # each fragment owns its body slice: a required copy, since
+            # fragments outlive this call on independent link queues
+            part = tail[offset:end]
+            append(
+                new_ipv4(
+                    self.src,
+                    self.dst,
+                    part,
+                    self.tos,
+                    self.ttl,
+                    self.identification,
+                    self.protocol,
+                    self.frag_offset + (offset >> 3),
+                    (end < size) or self.more_fragments,
                 )
             )
-            offset += len(chunk)
+            offset = end
         return fragments
+
+
+# ----------------------------------------------------------------------
+# fast constructors
+# ----------------------------------------------------------------------
+# Semantically identical to the dataclass constructors for
+# already-normalised arguments (ports/fields in wire range; src/dst as
+# IPv4Address instances for new_ipv4).  The per-packet paths — parsers,
+# fragmentation, the TCP send path, wire-frame snapshots — build one
+# object per packet, where skipping the generated __init__ (and
+# __post_init__'s re-coercion of known-good fields) is a measurable win.
+
+
+def new_udp(src_port: int, dst_port: int, payload: bytes) -> UdpDatagram:
+    """Build a :class:`UdpDatagram` from already-normalised fields."""
+    dgram = UdpDatagram.__new__(UdpDatagram)
+    dgram.src_port = src_port
+    dgram.dst_port = dst_port
+    dgram.payload = payload
+    return dgram
+
+
+def new_tcp(
+    src_port: int, dst_port: int, seq: int, ack: int, flags: int, window: int, payload: bytes
+) -> TcpSegment:
+    """Build a :class:`TcpSegment` from already-normalised fields."""
+    segment = TcpSegment.__new__(TcpSegment)
+    segment.src_port = src_port
+    segment.dst_port = dst_port
+    segment.seq = seq
+    segment.ack = ack
+    segment.flags = flags
+    segment.window = window
+    segment.payload = payload
+    return segment
+
+
+def new_icmp(icmp_type: int, code: int, identifier: int, sequence: int, payload: bytes) -> IcmpMessage:
+    """Build an :class:`IcmpMessage` from already-normalised fields."""
+    message = IcmpMessage.__new__(IcmpMessage)
+    message.icmp_type = icmp_type
+    message.code = code
+    message.identifier = identifier
+    message.sequence = sequence
+    message.payload = payload
+    return message
+
+
+def new_ipv4(
+    src: IPv4Address,
+    dst: IPv4Address,
+    l4: L4Message,
+    tos: int = 0,
+    ttl: int = 64,
+    identification: int = 0,
+    protocol: Optional[int] = None,
+    frag_offset: int = 0,
+    more_fragments: bool = False,
+) -> IPv4Packet:
+    """Build an :class:`IPv4Packet`; ``src``/``dst`` must be addresses.
+
+    ``protocol`` defaults to the L4 message's own protocol number
+    (0xFD for raw bytes), matching ``__post_init__``.
+    """
+    packet = IPv4Packet.__new__(IPv4Packet)
+    packet.src = src
+    packet.dst = dst
+    packet.l4 = l4
+    packet.tos = tos
+    packet.ttl = ttl
+    packet.identification = identification
+    packet.protocol = protocol if protocol is not None else getattr(l4, "protocol", 0xFD)
+    packet.frag_offset = frag_offset
+    packet.more_fragments = more_fragments
+    return packet
 
 
 class WireFrame:
@@ -382,7 +564,7 @@ def fast_wire_frame(packet: IPv4Packet) -> Optional[WireFrame]:
             or not (0 <= l4.src_port <= 0xFFFF and 0 <= l4.dst_port <= 0xFFFF)
         ):
             return None
-        new_l4: L4Message = UdpDatagram(l4.src_port, l4.dst_port, l4.payload)
+        new_l4: L4Message = new_udp(l4.src_port, l4.dst_port, l4.payload)
     elif l4_type is TcpSegment:
         if (
             packet.protocol != PROTO_TCP
@@ -394,9 +576,7 @@ def fast_wire_frame(packet: IPv4Packet) -> Optional[WireFrame]:
             or l4.flags != l4.flags & 0x3F
         ):
             return None
-        new_l4 = TcpSegment(
-            l4.src_port, l4.dst_port, l4.seq, l4.ack, l4.flags, l4.window, l4.payload
-        )
+        new_l4 = new_tcp(l4.src_port, l4.dst_port, l4.seq, l4.ack, l4.flags, l4.window, l4.payload)
     elif l4_type is IcmpMessage:
         if (
             packet.protocol != PROTO_ICMP
@@ -405,26 +585,34 @@ def fast_wire_frame(packet: IPv4Packet) -> Optional[WireFrame]:
             or not (0 <= l4.identifier <= 0xFFFF and 0 <= l4.sequence <= 0xFFFF)
         ):
             return None
-        new_l4 = IcmpMessage(l4.icmp_type, l4.code, l4.identifier, l4.sequence, l4.payload)
+        new_l4 = new_icmp(l4.icmp_type, l4.code, l4.identifier, l4.sequence, l4.payload)
     else:
         return None
     total = IPV4_HEADER_LEN + len(new_l4)
     if total > 0xFFFF:
         return None  # serialize would overflow the length field; use it
-    snapshot = IPv4Packet(
-        src=packet.src,
-        dst=packet.dst,
-        l4=new_l4,
-        tos=packet.tos,
-        ttl=packet.ttl,
-        identification=packet.identification,
-        protocol=packet.protocol,
+    snapshot = new_ipv4(
+        packet.src,
+        packet.dst,
+        new_l4,
+        packet.tos,
+        packet.ttl,
+        packet.identification,
+        packet.protocol,
     )
-    return WireFrame(snapshot, total)
+    frame = WireFrame.__new__(WireFrame)
+    frame.packet = snapshot
+    frame._length = total
+    return frame
 
 
-def parse_ipv4(data: bytes, verify_checksum: bool = False) -> IPv4Packet:
-    """Parse bytes into an :class:`IPv4Packet` (and its L4 message)."""
+def parse_ipv4(data, verify_checksum: bool = False) -> IPv4Packet:
+    """Parse a bytes-like buffer into an :class:`IPv4Packet`.
+
+    Header fields are read in place (no header slice); the L4 payload is
+    materialised exactly once, inside the L4 parser (or here for raw and
+    fragment bodies).
+    """
     if len(data) < IPV4_HEADER_LEN:
         raise ValueError("truncated IPv4 packet")
     (
@@ -432,52 +620,48 @@ def parse_ipv4(data: bytes, verify_checksum: bool = False) -> IPv4Packet:
         tos,
         total_length,
         identification,
-        _flags_frag,
+        flags_frag,
         ttl,
         protocol,
         checksum,
-        src_bytes,
-        dst_bytes,
-    ) = struct.unpack(">BBHHHBBH4s4s", data[:IPV4_HEADER_LEN])
+        src_value,
+        dst_value,
+    ) = _IP_HEADER.unpack_from(data)
     if version_ihl != 0x45:
         raise ValueError(f"unsupported version/IHL byte 0x{version_ihl:02x}")
     if total_length != len(data):
         raise ValueError(f"IPv4 length field {total_length} != buffer size {len(data)}")
     if verify_checksum:
-        header = data[:10] + b"\x00\x00" + data[12:IPV4_HEADER_LEN]
-        if internet_checksum(header) != checksum:
+        expected = _ipv4_checksum_words(
+            tos, total_length, identification, flags_frag, ttl, protocol, src_value, dst_value
+        )
+        if expected != checksum:
             raise ValueError("IPv4 header checksum mismatch")
-    body = data[IPV4_HEADER_LEN:]
-    more_fragments = bool(_flags_frag & 0x2000)
-    frag_offset = _flags_frag & 0x1FFF
+    view = data if type(data) is memoryview else memoryview(data)
+    src = IPv4Address.from_value(src_value)
+    dst = IPv4Address.from_value(dst_value)
+    more_fragments = flags_frag & 0x2000
+    frag_offset = flags_frag & 0x1FFF
     if more_fragments or frag_offset:
         # fragments keep a raw body; L4 parsing happens after reassembly
-        return IPv4Packet(
-            src=IPv4Address.from_bytes(src_bytes),
-            dst=IPv4Address.from_bytes(dst_bytes),
-            l4=body,
-            tos=tos,
-            ttl=ttl,
-            identification=identification,
-            protocol=protocol,
-            frag_offset=frag_offset,
-            more_fragments=more_fragments,
+        return new_ipv4(
+            src,
+            dst,
+            bytes(view[IPV4_HEADER_LEN:]),
+            tos,
+            ttl,
+            identification,
+            protocol,
+            frag_offset,
+            bool(more_fragments),
         )
     l4: L4Message
     if protocol == PROTO_UDP:
-        l4 = UdpDatagram.parse(body)
+        l4 = UdpDatagram.parse(view[IPV4_HEADER_LEN:])
     elif protocol == PROTO_TCP:
-        l4 = TcpSegment.parse(body)
+        l4 = TcpSegment.parse(view[IPV4_HEADER_LEN:])
     elif protocol == PROTO_ICMP:
-        l4 = IcmpMessage.parse(body)
+        l4 = IcmpMessage.parse(view[IPV4_HEADER_LEN:])
     else:
-        l4 = body
-    return IPv4Packet(
-        src=IPv4Address.from_bytes(src_bytes),
-        dst=IPv4Address.from_bytes(dst_bytes),
-        l4=l4,
-        tos=tos,
-        ttl=ttl,
-        identification=identification,
-        protocol=protocol,
-    )
+        l4 = bytes(view[IPV4_HEADER_LEN:])
+    return new_ipv4(src, dst, l4, tos, ttl, identification, protocol)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.addresses import IPv4Address, IPv4Network, as_address
 from repro.netsim.interface import Interface
 from repro.netsim.packet import (
     PROTO_ICMP,
@@ -30,6 +30,8 @@ from repro.netsim.packet import (
     UdpDatagram,
     WireFrame,
     fast_wire_frame,
+    new_ipv4,
+    new_udp,
     parse_ipv4,
 )
 from repro.sim import FifoStore, Simulator
@@ -55,11 +57,12 @@ class UdpSocket:
         """Send a datagram; returns False if it was dropped locally."""
         if self.closed:
             raise StackError("socket is closed")
-        packet = IPv4Packet(
-            src=self.address,
-            dst=IPv4Address(dst),
-            l4=UdpDatagram(self.port, dst_port, payload),
+        packet = new_ipv4(
+            self.address,
+            as_address(dst),
+            new_udp(self.port, dst_port, payload),
             tos=tos,
+            protocol=PROTO_UDP,
         )
         return self.stack.send_packet(packet)
 
@@ -142,7 +145,7 @@ class NetworkStack:
     def is_local(self, address: IPv4Address) -> bool:
         """True when the address belongs to this stack."""
         if type(address) is not IPv4Address:
-            address = IPv4Address(address)
+            address = as_address(address)
         # addresses are interned, so identity comparison suffices
         for itf in self.interfaces:
             if itf.address is address:
@@ -319,29 +322,44 @@ class NetworkStack:
             self.packets_dropped += 1
 
     def _reassemble(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
-        """Collect IP fragments; returns the full packet when complete."""
+        """Collect IP fragments; returns the full packet when complete.
+
+        Per-datagram state is two flat dicts (offset -> body slice, and
+        datagram key -> expected total) so the per-fragment path only
+        touches existing containers instead of allocating an entry
+        structure per fragment.
+        """
         table = getattr(self, "_ip_fragments", None)
         if table is None:
             table = self._ip_fragments = {}
+            self._ip_frag_totals = {}
+        totals = self._ip_frag_totals
         key = (packet.src, packet.dst, packet.identification, packet.protocol)
-        entry = table.setdefault(key, {"chunks": {}, "total": None})
-        body = packet.l4 if isinstance(packet.l4, bytes) else packet.l4.serialize()
-        entry["chunks"][packet.frag_offset * 8] = body
+        frags = table.get(key)
+        if frags is None:
+            frags = table[key] = {}
+        l4 = packet.l4
+        tail = l4 if isinstance(l4, bytes) else l4.serialize()
+        frags[packet.frag_offset * 8] = tail
         if not packet.more_fragments:
-            entry["total"] = packet.frag_offset * 8 + len(body)
-        if entry["total"] is None:
+            totals[key] = packet.frag_offset * 8 + len(tail)
+        total = totals.get(key)
+        if total is None:
             return None
         covered = 0
-        assembled = bytearray(entry["total"])
-        for offset in sorted(entry["chunks"]):
-            chunk = entry["chunks"][offset]
-            assembled[offset : offset + len(chunk)] = chunk
-            covered += len(chunk)
-        if covered < entry["total"]:
+        assembled = bytearray(total)
+        for offset in sorted(frags):
+            part = frags[offset]
+            assembled[offset : offset + len(part)] = part
+            covered += len(part)
+        if covered < total:
             if len(table) > 256:  # bound the table
-                table.pop(next(iter(table)))
+                stale = next(iter(table))
+                table.pop(stale)
+                totals.pop(stale, None)
             return None
         del table[key]
+        del totals[key]
         full = packet.copy(l4=bytes(assembled), frag_offset=0, more_fragments=False)
         try:
             return parse_ipv4(full.serialize())
@@ -387,7 +405,7 @@ class NetworkStack:
 
     def _handle_icmp(self, packet: IPv4Packet, message: IcmpMessage) -> None:
         if message.icmp_type == IcmpMessage.ECHO_REQUEST and self.icmp_echo_enabled:
-            reply = IPv4Packet(src=packet.dst, dst=packet.src, l4=message.make_reply())
+            reply = new_ipv4(packet.dst, packet.src, message.make_reply(), protocol=PROTO_ICMP)
             self.send_packet(reply)
         elif message.icmp_type == IcmpMessage.ECHO_REPLY:
             waiter = self._ping_waiters.pop((message.identifier, message.sequence), None)

@@ -14,12 +14,15 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import IPv4Address
 from repro.netsim.packet import (
+    PROTO_TCP,
     TCP_ACK,
     TCP_FIN,
     TCP_RST,
     TCP_SYN,
     IPv4Packet,
     TcpSegment,
+    new_ipv4,
+    new_tcp,
 )
 from repro.sim import FifoStore, Simulator
 
@@ -208,16 +211,16 @@ class TcpConnection:
             self._arm_retx()
 
     def _send_segment(self, flags: int, payload: bytes, seq: Optional[int] = None) -> None:
-        segment = TcpSegment(
-            src_port=self.local_port,
-            dst_port=self.remote_port,
-            seq=self.snd_nxt if seq is None else seq,
-            ack=self.rcv_nxt,
-            flags=flags,
-            window=DEFAULT_WINDOW >> WINDOW_SHIFT,
-            payload=payload,
+        segment = new_tcp(
+            self.local_port,
+            self.remote_port,
+            self.snd_nxt if seq is None else seq,
+            self.rcv_nxt,
+            flags,
+            DEFAULT_WINDOW >> WINDOW_SHIFT,
+            payload,
         )
-        packet = IPv4Packet(src=self.local_addr, dst=self.remote_addr, l4=segment)
+        packet = new_ipv4(self.local_addr, self.remote_addr, segment, protocol=PROTO_TCP)
         self.bytes_sent += len(payload)
         self.engine.stack.send_packet(packet)
 
@@ -278,7 +281,11 @@ class TcpConnection:
         self.snd_una = ack
         self._retries = 0
         self._rto = INITIAL_RTO
-        self._inflight = [(s, p) for s, p in self._inflight if s + len(p) > ack]
+        # cumulative ACK covers an in-order prefix of the inflight list,
+        # so drop that prefix in place (no rebuilt list per ACK)
+        inflight = self._inflight
+        while inflight and inflight[0][0] + len(inflight[0][1]) <= ack:
+            inflight.pop(0)
         if self._inflight:
             self._arm_retx()
         else:
@@ -294,9 +301,12 @@ class TcpConnection:
         if seq > self.rcv_nxt:
             self._ooo[seq] = payload
         elif seq + len(payload) > self.rcv_nxt:
-            # trim any already-received prefix, deliver the rest
+            # trim any already-received prefix, deliver the rest; the
+            # in-order case (offset 0) forwards the buffer as-is, and a
+            # real trim materialises through a view (one copy, no
+            # intermediate slice)
             offset = self.rcv_nxt - seq
-            data = payload[offset:]
+            data = bytes(memoryview(payload)[offset:]) if offset else payload
             self.rcv_nxt += len(data)
             self.bytes_received += len(data)
             self._rx_chunks.put(data)
@@ -386,18 +396,20 @@ class TcpEngine:
                 return
         if not segment.rst:
             # No one home: emit RST so active opens fail fast.
-            rst = TcpSegment(
-                src_port=segment.dst_port,
-                dst_port=segment.src_port,
-                seq=segment.ack,
-                ack=segment.seq + 1,
-                flags=TCP_RST | TCP_ACK,
+            rst = new_tcp(
+                segment.dst_port,
+                segment.src_port,
+                segment.ack,
+                segment.seq + 1,
+                TCP_RST | TCP_ACK,
+                65535,
+                b"",
             )
-            self.stack.send_packet(IPv4Packet(src=packet.dst, dst=packet.src, l4=rst))
+            self.stack.send_packet(new_ipv4(packet.dst, packet.src, rst, protocol=PROTO_TCP))
 
     def _passive_open(self, packet: IPv4Packet, segment: TcpSegment) -> None:
         self._isn += 64000
-        conn = TcpConnection(
+        conn = TcpConnection(  # endbox-lint: hotpath(HP702) one allocation per accepted connection, not per packet
             self, packet.dst, segment.dst_port, packet.src, segment.src_port, self._isn
         )
         conn.state = TcpConnection.SYN_RCVD

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from hmac import compare_digest
 from typing import List, Optional, Tuple
 
 from repro.crypto.hmac import hmac_sha256
@@ -36,8 +37,11 @@ class TlsRecord:
     body: bytes
 
     def serialize(self) -> bytes:
-        """Serialize to wire bytes."""
-        return struct.pack(">BHH", self.record_type, self.version, len(self.body)) + self.body
+        """Serialize to wire bytes (the one mandatory copy: wire emission)."""
+        tail = self.body
+        if type(tail) is not bytes:
+            tail = bytes(tail)
+        return struct.pack(">BHH", self.record_type, self.version, len(tail)) + tail
 
 
 def parse_records(buffer: bytes) -> Tuple[List[TlsRecord], bytes]:
@@ -50,10 +54,12 @@ def parse_records(buffer: bytes) -> Tuple[List[TlsRecord], bytes]:
             raise RecordError("record length too large")
         if len(buffer) - offset - RECORD_HEADER_LEN < length:
             break
-        body = buffer[offset + RECORD_HEADER_LEN : offset + RECORD_HEADER_LEN + length]
-        records.append(TlsRecord(record_type, version, body))
+        start = offset + RECORD_HEADER_LEN
+        records.append(TlsRecord(record_type, version, bytes(memoryview(buffer)[start : start + length])))
         offset += RECORD_HEADER_LEN + length
-    return records, buffer[offset:]
+    if not offset:
+        return records, buffer  # nothing consumed: hand the buffer back uncopied
+    return records, bytes(memoryview(buffer)[offset:])
 
 
 class RecordProtection:
@@ -72,21 +78,29 @@ class RecordProtection:
     def protect(self, record_type: int, plaintext: bytes, version: int = 0x0303) -> bytes:
         """Encrypt ``plaintext`` into a serialized protected record."""
         nonce = self._nonce(self.sequence)
-        ciphertext = self._cipher.encrypt(nonce, plaintext)
-        header = struct.pack(">BHH", record_type, version, len(ciphertext) + TAG_LEN)
-        tag = hmac_sha256(self._mac_key, nonce, header, ciphertext)[:TAG_LEN]
+        seal = self._cipher.encrypt(nonce, plaintext)
+        header = struct.pack(">BHH", record_type, version, len(seal) + TAG_LEN)
+        mac = hmac_sha256(self._mac_key, nonce, header, seal)[:TAG_LEN]
         self.sequence += 1
-        return header + ciphertext + tag
+        return header + seal + mac
 
     def unprotect(self, record: TlsRecord) -> bytes:
-        """Authenticate and decrypt one protected record body."""
-        if len(record.body) < TAG_LEN:
+        """Authenticate and decrypt one protected record body.
+
+        The ciphertext/tag split is carved as views over the record body
+        rather than slice-copies; the MAC compare is constant-time.
+        """
+        tail = record.body
+        boundary = len(tail) - TAG_LEN
+        if boundary < 0:
             raise RecordError("protected record too short")
-        ciphertext, tag = record.body[:-TAG_LEN], record.body[-TAG_LEN:]
+        view = tail if type(tail) is memoryview else memoryview(tail)
+        seal = view[:boundary]
+        mac = view[boundary:]
         nonce = self._nonce(self.sequence)
-        header = struct.pack(">BHH", record.record_type, record.version, len(record.body))
-        expected = hmac_sha256(self._mac_key, nonce, header, ciphertext)[:TAG_LEN]
-        if expected != tag:
+        header = struct.pack(">BHH", record.record_type, record.version, len(tail))
+        expected = hmac_sha256(self._mac_key, nonce, header, seal)[:TAG_LEN]
+        if not compare_digest(expected, mac):
             raise RecordError("record authentication failed")
         self.sequence += 1
-        return self._cipher.decrypt(nonce, ciphertext)
+        return self._cipher.decrypt(nonce, seal)

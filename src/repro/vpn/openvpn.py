@@ -68,6 +68,7 @@ from repro.vpn.protocol import (
     OP_REJECT,
     ProtocolError,
     VpnPacket,
+    new_data_packet,
 )
 from repro.vpn.replay import ReplayWindow
 
@@ -234,14 +235,11 @@ class OpenVpnServer:
         client is current (or no grace was ever announced) and is always
         admitted.
         """
-        applicable = [
-            deadline
-            for version, deadline in self._grace_deadlines.items()
-            if version > client_version
-        ]
-        if not applicable:
-            return None
-        return min(applicable)
+        earliest: Optional[float] = None
+        for version, deadline in self._grace_deadlines.items():
+            if version > client_version and (earliest is None or deadline < earliest):
+                earliest = deadline
+        return earliest
 
     def data_policy(self, session: VpnSession) -> bool:
         """Per-packet policy: enforce the configuration grace period."""
@@ -556,7 +554,7 @@ class OpenVpnServer:
     # ------------------------------------------------------------------
     def _send_session_config(self, session: VpnSession) -> None:
         body = json.dumps(
-            {
+            {  # endbox-lint: hotpath(HP702) one config body per session establishment, control channel
                 "tunnel_ip": str(session.tunnel_ip),
                 "server_tunnel_ip": str(self.server_tunnel_ip),
                 "subnet": str(self.tunnel_network),
@@ -564,18 +562,20 @@ class OpenVpnServer:
             }
         ).encode()
         tag = hmac_sha256(session.secrets.server_hmac, b"session-config", body)[:16]
-        wire = VpnPacket(OP_SESSION_CONFIG, session.session_id, 0, body + tag).serialize()
+        wire = VpnPacket(  # endbox-lint: hotpath(HP702) one packet per session establishment, control channel
+            OP_SESSION_CONFIG, session.session_id, 0, body + tag
+        ).serialize()
         self._tm_ctrl_packets.inc()
         self._tm_ctrl_bytes.inc(len(wire))
         self.sock.sendto(wire, session.outer_addr, session.outer_port)
 
     def _send_ping(self, session: VpnSession) -> None:
-        ping = PingMessage(
+        ping = PingMessage(  # endbox-lint: hotpath(HP702) one announcement per keepalive interval, not per packet
             config_version=self.current_config_version,
             grace_period_s=self.grace_period_s,
             timestamp_ns=int(self.sim.now * 1e9),
         )
-        wire = VpnPacket(
+        wire = VpnPacket(  # endbox-lint: hotpath(HP702) one packet per keepalive interval, control channel
             OP_PING, session.session_id, 0, ping.serialize(session.secrets.server_hmac)
         ).serialize()
         self._tm_ctrl_packets.inc()
@@ -584,17 +584,16 @@ class OpenVpnServer:
 
     def _send_data(self, session: VpnSession, inner_bytes: bytes) -> None:
         frag_id, pieces = session.fragmenter.split(inner_bytes)
+        count = len(pieces)
+        protect = session.tx_channel.protect
+        sendto = self.sock.sendto
         for index, piece in enumerate(pieces):
-            packet = VpnPacket(
-                opcode=OP_DATA,
-                session_id=session.session_id,
-                packet_id=session.take_packet_id(),
-                frag_id=frag_id,
-                frag_index=index,
-                frag_count=len(pieces),
+            packet = new_data_packet(
+                session.session_id, session.take_packet_id(), frag_id, index, count
             )
-            session.tx_channel.protect(packet, piece)
-            self.sock.sendto(packet.serialize(), session.outer_addr, session.outer_port)
+            protect(packet, piece)
+            wire = packet.serialize()
+            sendto(wire, session.outer_addr, session.outer_port)
 
     # ------------------------------------------------------------------
     # metrics
@@ -995,17 +994,16 @@ class OpenVpnClient:
         inner_bytes = inner.serialize()
         self.inner_bytes_sent += len(inner_bytes)
         frag_id, pieces = self.fragmenter.split(inner_bytes)
+        count = len(pieces)
+        protect = self.tx_channel.protect
+        sendto = self.sock.sendto
         for index, piece in enumerate(pieces):
-            packet = VpnPacket(
-                opcode=OP_DATA,
-                session_id=self.session_id,
-                packet_id=self._take_packet_id(),
-                frag_id=frag_id,
-                frag_index=index,
-                frag_count=len(pieces),
+            packet = new_data_packet(
+                self.session_id, self._take_packet_id(), frag_id, index, count
             )
-            self.tx_channel.protect(packet, piece)
-            self.sock.sendto(packet.serialize(), self.server_addr, self.server_port)
+            protect(packet, piece)
+            wire = packet.serialize()
+            sendto(wire, self.server_addr, self.server_port)
 
     def _take_packet_id(self) -> int:
         packet_id = self._next_packet_id
@@ -1052,12 +1050,12 @@ class OpenVpnClient:
             self.on_server_announcement(ping)
 
     def _send_ping(self) -> None:
-        ping = PingMessage(
+        ping = PingMessage(  # endbox-lint: hotpath(HP702) one keepalive per ping interval, not per packet
             config_version=self.config_version,
             grace_period_s=0.0,
             timestamp_ns=int(self.sim.now * 1e9),
         )
-        wire = VpnPacket(
+        wire = VpnPacket(  # endbox-lint: hotpath(HP702) one packet per ping interval, control channel
             OP_PING, self.session_id, 0, ping.serialize(self.secrets.client_hmac)
         ).serialize()
         self._tm_ctrl_packets.inc()

@@ -36,15 +36,17 @@ class PingMessage:
 
     def serialize(self, hmac_key: bytes) -> bytes:
         """Serialize to wire bytes."""
-        body = _FORMAT.pack(self.config_version, self.grace_period_s, self.timestamp_ns)
-        return body + hmac_sha256(hmac_key, b"ping", body)[:TAG_LEN]
+        head = _FORMAT.pack(self.config_version, self.grace_period_s, self.timestamp_ns)
+        return head + hmac_sha256(hmac_key, b"ping", head)[:TAG_LEN]
 
     @classmethod
     def parse(cls, data: bytes, hmac_key: bytes) -> "PingMessage":
         if len(data) != _FORMAT.size + TAG_LEN:
             raise PingError("bad ping length")
-        body, tag = data[: _FORMAT.size], data[_FORMAT.size :]
-        if not hmac_verify(hmac_key, b"ping", body, tag):
+        view = data if type(data) is memoryview else memoryview(data)
+        head = view[: _FORMAT.size]
+        mac = view[_FORMAT.size :]
+        if not hmac_verify(hmac_key, b"ping", head, mac):
             raise PingError("ping failed authentication")
-        version, grace, timestamp = _FORMAT.unpack(body)
+        version, grace, timestamp = _FORMAT.unpack(head)
         return cls(config_version=version, grace_period_s=grace, timestamp_ns=timestamp)

@@ -8,7 +8,10 @@ one documented exception: a burst of N packets pays one EENTER/EEXIT
 transition pair on the gateway ledger where the scalar path pays N.
 """
 
+import json
 import math
+import random
+from pathlib import Path
 
 import pytest
 
@@ -16,15 +19,30 @@ from repro.click import Router, configs as click_configs
 from repro.core.ca import CertificateAuthority
 from repro.core.enclave_app import EndBoxEnclave, build_endbox_image
 from repro.core.provisioning import provision_client
+from repro.crypto import hmac as crypto_hmac
+from repro.crypto import stream as crypto_stream
+from repro.crypto.cachestate import (
+    HMAC_PAD_CACHE_ENTRIES,
+    KEYSTREAM_CACHE_ENTRIES,
+    MAC_TAG_CACHE_ENTRIES,
+    current_caches,
+)
+from repro.crypto.stream import KeystreamCipher
+from repro.faults import trace_digest
 from repro.fleet import DeploymentSpec
 from repro.costs import default_cost_model
-from repro.netsim import IPv4Packet, UdpDatagram
+from repro.netsim import IPv4Packet, UdpDatagram, parse_ipv4
 from repro.netsim.packet import ENDBOX_PROCESSED_TOS
 from repro.netsim.traffic import UdpSink, UdpTrafficSource, make_payload
+from repro.perf.micro import CRITERIA
 from repro.sgx import IntelAttestationService, SealedStorage, SgxPlatform
 from repro.sgx.gateway import CostLedger, InterfaceViolation
 from repro.sim import Simulator
+from repro.telemetry.registry import fork_isolated
+from repro.tlslib.record import RecordProtection, TYPE_APPLICATION_DATA, parse_records
+from repro.vpn import channel as vpn_channel
 from repro.vpn.channel import DataChannel, ProtectionMode
+from repro.vpn.fragment import Fragmenter, Reassembler
 from repro.vpn.protocol import OP_DATA, OP_PING, VpnPacket
 
 MODE = ProtectionMode.ENCRYPT_AND_MAC.value
@@ -348,3 +366,189 @@ def test_batched_client_forms_bursts_and_delivers():
     per_crossing = client.ecall_burst_packets / client.ecall_bursts
     assert per_crossing > 1.0  # saturating load must actually batch
     assert client.ecall_burst_packets <= client.ecall_bursts * client.ecall_batch_limit
+
+
+# ----------------------------------------------------------------------
+# zero-copy equivalence (ROADMAP item 4)
+# ----------------------------------------------------------------------
+def test_zero_copy_channel_equivalence_across_sizes():
+    """Scalar, batch and parse-then-unprotect agree for edge-case sizes."""
+    rng = random.Random(0xEB10)
+    sizes = [0, 1, 16, 31, 32, 33, 1472, 1473, 8900]
+    sizes += [rng.randrange(2, 4096) for _ in range(6)]
+    payloads = [rng.randbytes(size) for size in sizes]
+    tx_scalar, rx_scalar = channel_pair()
+    tx_batch, rx_batch = channel_pair()
+    wire = []
+    for pid, payload in enumerate(payloads, start=1):
+        packet = tx_scalar.protect(VpnPacket(OP_DATA, 5, pid), payload)
+        wire.append(packet.serialize())
+        parsed = VpnPacket.parse(wire[-1])
+        # OP_DATA bodies are carved as views over the datagram buffer
+        assert type(parsed.body) is memoryview
+        assert rx_scalar.unprotect(parsed) == payload
+    items = [(VpnPacket(OP_DATA, 5, pid), p) for pid, p in enumerate(payloads, start=1)]
+    assert [p.serialize() for p in tx_batch.protect_batch(items)] == wire
+    assert rx_batch.unprotect_batch([VpnPacket.parse(w) for w in wire]) == payloads
+
+
+def test_zero_copy_ip_parse_matches_serialize_across_sizes():
+    rng = random.Random(7)
+    for size in (0, 1, 8, 1471, 1472, 1473):
+        payload = rng.randbytes(size)
+        packet = udp_packet(payload)
+        wire = packet.serialize()
+        parsed = parse_ipv4(wire, verify_checksum=True)
+        assert parsed.l4.payload == payload
+        assert parsed.serialize() == wire
+
+
+def test_fragmented_burst_roundtrips_through_reassembler():
+    rng = random.Random(0xF0)
+    inner = rng.randbytes(25_000)
+    frag_id, pieces = Fragmenter(1400).split(inner)
+    tx, rx = channel_pair()
+    items = [
+        (VpnPacket(OP_DATA, 3, index + 1, b"", frag_id, index, len(pieces)), piece)
+        for index, piece in enumerate(pieces)
+    ]
+    protected = tx.protect_batch(items)
+    reassembler = Reassembler()
+    result = None
+    for sealed in protected:
+        parsed = VpnPacket.parse(sealed.serialize())
+        plain = rx.unprotect(parsed)
+        got = reassembler.add(
+            parsed.session_id, parsed.frag_id, parsed.frag_index, parsed.frag_count, plain
+        )
+        if got is not None:
+            result = got
+    assert result == inner
+    assert reassembler.completed == 1
+
+
+def test_parsed_packet_does_not_alias_reused_wire_buffer():
+    """HP705 semantics: parse output must survive receive-buffer reuse."""
+    payload = random.Random(1).randbytes(512)
+    wire = bytearray(udp_packet(payload).serialize())
+    parsed = parse_ipv4(wire)
+    snapshot = parsed.serialize()
+    wire[:] = b"\xff" * len(wire)  # the NIC ring reuses the buffer
+    assert parsed.l4.payload == payload
+    assert parsed.serialize() == snapshot
+
+
+def test_unprotect_plaintext_survives_wire_buffer_reuse():
+    tx, rx = channel_pair()
+    payload = b"sensitive-inner-packet"
+    wire = bytearray(tx.protect(VpnPacket(OP_DATA, 4, 1), payload).serialize())
+    parsed = VpnPacket.parse(wire)  # body is a view over ``wire``
+    plain = rx.unprotect(parsed)
+    wire[:] = b"\x00" * len(wire)  # the datagram buffer is reused
+    assert plain == payload
+
+
+def test_tls_record_zero_copy_framing_and_unprotect():
+    key = bytes(range(32))
+    tx = RecordProtection(key)
+    rx = RecordProtection(key)
+    plains = [b"", b"x", random.Random(2).randbytes(1000)]
+    buf = b"".join(tx.protect(TYPE_APPLICATION_DATA, p) for p in plains)
+    records, tail = parse_records(buf)
+    assert tail == b""
+    assert [rx.unprotect(r) for r in records] == plains
+    # a buffer with no complete record is handed back uncopied
+    incomplete = buf[:4]
+    records, tail = parse_records(incomplete)
+    assert records == []
+    assert tail is incomplete
+
+
+# ----------------------------------------------------------------------
+# bounded crypto caches (deterministic FIFO eviction)
+# ----------------------------------------------------------------------
+def test_keystream_cache_bounded_with_fifo_eviction():
+    with fork_isolated():
+        cipher = KeystreamCipher(b"k" * 16)
+        cache = cipher._keystreams
+        overflow = 50
+        total = KEYSTREAM_CACHE_ENTRIES + overflow
+        for pid in range(total):
+            cipher.encrypt(pid.to_bytes(8, "big"), b"payload")
+        assert len(cache) == KEYSTREAM_CACHE_ENTRIES
+        survivors = {nonce for _key, nonce in cache}
+        # strictly FIFO: exactly the oldest nonces were evicted
+        assert all(pid.to_bytes(8, "big") not in survivors for pid in range(overflow))
+        assert all(pid.to_bytes(8, "big") in survivors for pid in range(overflow, total))
+
+
+def test_channel_caches_stay_bounded_under_churn():
+    with fork_isolated():
+        tx, rx = channel_pair()
+        caches = current_caches()
+        pid = 0
+        for _round in range(6):
+            items = []
+            for _ in range(512):
+                pid += 1
+                items.append((VpnPacket(OP_DATA, 2, pid), b"churn-payload"))
+            assert rx.unprotect_batch(tx.protect_batch(items)) == [b"churn-payload"] * 512
+        assert pid > MAC_TAG_CACHE_ENTRIES  # the churn actually overflowed
+        assert len(caches.keystreams) <= KEYSTREAM_CACHE_ENTRIES
+        assert len(caches.mac_tags) <= MAC_TAG_CACHE_ENTRIES
+        assert len(caches.hmac_pads) <= HMAC_PAD_CACHE_ENTRIES
+
+
+def test_keystream_view_outlives_eviction():
+    with fork_isolated():
+        cipher = KeystreamCipher(b"v" * 16)
+        view = cipher._keystream(b"nonce-a", 5)
+        assert type(view) is memoryview
+        expected = bytes(view)
+        for pid in range(KEYSTREAM_CACHE_ENTRIES + 10):
+            cipher._keystream(pid.to_bytes(8, "big"), 5)
+        assert (b"v" * 16, b"nonce-a") not in cipher._keystreams  # evicted
+        assert bytes(view) == expected  # the view keeps its buffer alive
+
+
+def _vpn_digest_run():
+    world = DeploymentSpec(
+        clients=1, setup="endbox_sgx", use_case="NOP", ping_interval=0.25, charge_cpu=False
+    ).build()
+    world.sim.telemetry.recording = True
+    world.connect_all()
+    sink = UdpSink(world.internal, 6003)
+    UdpTrafficSource(
+        world.clients[0].host, world.internal.address, 6003, rate_bps=4e5, packet_bytes=400
+    ).start()
+    world.sim.run(until=world.sim.now + 2.0)
+    return trace_digest(world.sim.telemetry), sink.packets
+
+
+def test_tiny_cache_caps_leave_trace_digest_unchanged(monkeypatch):
+    """Eviction policy is invisible: every cached value is a pure
+    function of its key, so starving the caches must not move a byte."""
+    baseline_digest, baseline_packets = _vpn_digest_run()
+    monkeypatch.setattr(crypto_stream, "KEYSTREAM_CACHE_ENTRIES", 4)
+    monkeypatch.setattr(vpn_channel, "MAC_TAG_CACHE_ENTRIES", 4)
+    monkeypatch.setattr(crypto_hmac, "HMAC_PAD_CACHE_ENTRIES", 1)
+    tiny_digest, tiny_packets = _vpn_digest_run()
+    assert tiny_packets == baseline_packets > 0
+    assert tiny_digest == baseline_digest
+
+
+# ----------------------------------------------------------------------
+# the committed perf baseline
+# ----------------------------------------------------------------------
+def test_committed_bench_baseline_meets_criteria():
+    """``make check`` gate: BENCH_micro.json must satisfy every per-stage
+    criterion (vpn_data_channel/channel_crypto >= 2x, end_to_end >= 3x)."""
+    path = Path(__file__).resolve().parents[1] / "BENCH_micro.json"
+    doc = json.loads(path.read_text())
+    speedups = {stage["name"]: stage["speedup"] for stage in doc["stages"]}
+    for stage_name, required in CRITERIA.items():
+        assert speedups[stage_name] >= required, (
+            f"{stage_name}: committed baseline {speedups[stage_name]}x "
+            f"below the required {required}x"
+        )
+    assert all(entry["met"] for entry in doc["criteria"])

@@ -124,4 +124,5 @@ def test_fragment_helper_roundtrip():
 
 def test_small_packet_not_fragmented():
     packet = IPv4Packet(src="1.1.1.1", dst="2.2.2.2", l4=b"tiny")
-    assert packet.fragment(9000) == [packet]
+    # the unfragmented case allocates no per-packet list
+    assert list(packet.fragment(9000)) == [packet]
